@@ -1,0 +1,106 @@
+"""E8 -- Skeptic hysteresis under intermittent faults (sections 4.4, 6.5.5).
+
+Paper: faults must be responded to quickly, but intermittent switches or
+links are ignored for progressively longer periods -- the status skeptic
+lengthens the error-free holding period a flapping port must serve before
+re-entering service, bounding the reconfiguration rate.
+
+Measured here: a link that flaps every 2 seconds for a minute.  With the
+skeptics on (paper), the port's required holding period grows and the
+number of reconfigurations is bounded; with hysteresis disabled
+(growth = 1), every flap round-trips through service and reconfigurations
+keep pace with the flapping.
+"""
+
+import pytest
+
+from benchmarks.bench_util import report
+from repro.constants import SEC
+from repro.core.autopilot import AutopilotParams
+from repro.network import Network
+from repro.topology import ring
+
+
+def run_flapping(growth: float, flaps: int = 15, period_ns: int = 2 * SEC):
+    def params_factory(_i):
+        params = AutopilotParams()
+        params.monitor.skeptic.growth = growth
+        params.monitor.conn_skeptic_growth = growth
+        return params
+
+    net = Network(ring(4), params_factory=params_factory)
+    assert net.run_until_converged(timeout_ns=60 * SEC)
+    net.run_for(2 * SEC)
+    epochs_before = net.current_epoch()
+
+    for i in range(flaps):
+        net.sim.at(net.sim.now + i * period_ns, lambda: net.cut_link(0, 1))
+        net.sim.at(
+            net.sim.now + i * period_ns + period_ns // 2,
+            lambda: net.restore_link(0, 1),
+        )
+    net.run_for(flaps * period_ns + 10 * SEC)
+    epochs_caused = net.current_epoch() - epochs_before
+    # the grown holding period on the flapping port
+    a, pa, _b, _pb = [c for c in net.spec.cables if {c[0], c[2]} == {0, 1}][0]
+    hold = net.autopilots[a].monitoring.ports[pa].status_skeptic.hold_ns
+    return epochs_caused, hold
+
+
+@pytest.mark.benchmark(group="E8")
+def test_skeptic_bounds_reconfiguration_rate(benchmark):
+    def run():
+        with_skeptic = run_flapping(growth=2.0)
+        without = run_flapping(growth=1.0)
+        return with_skeptic, without
+
+    (epochs_skeptic, hold_skeptic), (epochs_none, hold_none) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report(
+        "E8_skeptics",
+        "E8: 15 link flaps over 30 s (flap period 2 s)",
+        ["configuration", "reconfigurations caused", "final holding period (ms)"],
+        [
+            ["skeptics on (paper)", epochs_skeptic, f"{hold_skeptic / 1e6:.0f}"],
+            ["hysteresis disabled", epochs_none, f"{hold_none / 1e6:.0f}"],
+        ],
+        notes=(
+            "paper: intermittent links are ignored for progressively longer\n"
+            "periods, so they cannot thrash the network"
+        ),
+    )
+    assert hold_skeptic > 4 * hold_none, "holding period did not grow"
+    assert epochs_skeptic < epochs_none, "skeptic did not reduce reconfigurations"
+
+
+@pytest.mark.benchmark(group="E8")
+def test_solid_fault_still_fast(benchmark):
+    """Responsiveness: the hysteresis must not slow the response to a
+    genuine, persistent failure."""
+
+    def run():
+        net = Network(ring(4))
+        assert net.run_until_converged(timeout_ns=60 * SEC)
+        net.run_for(2 * SEC)
+        t0 = net.sim.now
+        net.cut_link(0, 1)
+        assert net.run_until_converged(timeout_ns=60 * SEC)
+        epoch = net.current_epoch()
+        record = net.epochs[epoch]
+        detection = record.started_at - t0
+        total = max(record.configured.values()) - t0
+        return detection, total
+
+    detection, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E8_responsiveness",
+        "E8: response to a solid link failure",
+        ["quantity", "paper", "measured (ms)"],
+        [
+            ["failure -> reconfiguration start", "prompt", f"{detection / 1e6:.0f}"],
+            ["failure -> service restored", "< 1 s", f"{total / 1e6:.0f}"],
+        ],
+    )
+    assert detection < 500e6
+    assert total < 1e9

@@ -1,0 +1,65 @@
+"""E10 -- Termination detection vs plain Perlman (sections 4.1, 6.6.1).
+
+Paper: Perlman's algorithm never lets a node be sure the election has
+finished, which is unacceptable because an Autonet carries no host
+traffic during reconfiguration.  The extension -- stability propagation
+up the forming tree -- gives the root a positive, prompt completion
+signal.  The alternative is a conservative quiet-period timeout, which
+either inflates every reconfiguration (long timeout) or risks committing
+before the tree has settled (short timeout).
+
+Measured here: reconfiguration times on the SRC LAN under the stability
+extension vs quiescence timeouts of several lengths.
+"""
+
+import pytest
+
+from benchmarks.bench_util import fmt_ms, report
+from repro.constants import MS, SEC
+from repro.core.autopilot import AutopilotParams
+from repro.network import Network
+from repro.topology import src_service_lan
+
+
+def timed_reconfig(mode: str, quiet_ms: int = 300):
+    def params_factory(_i):
+        params = AutopilotParams()
+        params.reconfig.termination_mode = mode
+        params.reconfig.quiescence_timeout_ns = quiet_ms * MS
+        return params
+
+    net = Network(src_service_lan(), params_factory=params_factory)
+    assert net.run_until_converged(timeout_ns=120 * SEC), f"{mode} never converged"
+    net.run_for(2 * SEC)
+    net.cut_link(0, 1)
+    assert net.run_until_converged(timeout_ns=120 * SEC), f"{mode} never reconverged"
+    return net.epoch_duration(net.current_epoch())
+
+
+@pytest.mark.benchmark(group="E10")
+def test_stability_vs_quiescence(benchmark):
+    def run():
+        return {
+            "stability (paper)": timed_reconfig("stability"),
+            "quiescence 200 ms": timed_reconfig("quiescence", 200),
+            "quiescence 500 ms": timed_reconfig("quiescence", 500),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E10_termination",
+        "E10: SRC LAN reconfiguration time by termination mechanism",
+        ["termination mechanism", "reconfig (ms)"],
+        [[name, fmt_ms(duration)] for name, duration in results.items()],
+        notes=(
+            "paper: the stability extension lets the network 'open for\n"
+            "business quickly'; plain Perlman must add a conservative quiet\n"
+            "period to every reconfiguration"
+        ),
+    )
+    stability = results["stability (paper)"]
+    for name, duration in results.items():
+        if name.startswith("quiescence"):
+            assert duration > stability, f"{name} should be slower than stability"
+    # the timeout mechanism pays roughly its quiet period as overhead
+    assert results["quiescence 500 ms"] > results["quiescence 200 ms"]

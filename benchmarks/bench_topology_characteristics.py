@@ -1,0 +1,116 @@
+"""E17 -- Performance characteristics of topologies and routings (§7).
+
+Paper (closing future work): "understanding the performance
+characteristics of different topologies and different routing
+algorithms" and "the number of switches and the pattern of the
+switch-to-switch links determine network capacity, reliability, and
+cost."
+
+Measured here: for several 12-30 switch installations, the analytic
+characteristics (path length, bottleneck load under uniform traffic,
+root concentration), single-failure robustness, and the measured
+reconfiguration time -- the trade table an installation guide needs.
+"""
+
+import networkx as nx
+import pytest
+
+from benchmarks.bench_util import fmt_ms, report
+from repro.analysis.capacity import analyze_capacity
+from repro.baselines.routing_ablation import tree_only_topology
+from repro.constants import SEC
+from repro.network import Network
+from repro.topology import expected_tree, random_regular, torus, tree
+from repro.topology.src_lan import src_service_lan
+
+
+def reconfig_time(spec):
+    net = Network(spec)
+    assert net.run_until_converged(timeout_ns=120 * SEC), spec.name
+    net.run_for(2 * SEC)
+    net.cut_link(spec.cables[0][0], spec.cables[0][2])
+    assert net.run_until_converged(timeout_ns=120 * SEC), spec.name
+    return net.epoch_duration(net.current_epoch())
+
+
+def survives_single_failures(spec) -> bool:
+    g = nx.Graph((a, b) for a, _pa, b, _pb in spec.cables)
+    return nx.is_biconnected(g) and not list(nx.bridges(g))
+
+
+@pytest.mark.benchmark(group="E17")
+def test_topology_trade_table(benchmark):
+    specs = [
+        torus(3, 4),
+        tree(depth=3, fanout=2),           # 15 switches, no cross links
+        random_regular(12, degree=4, seed=5),
+        src_service_lan(),
+    ]
+
+    def run():
+        rows = []
+        for spec in specs:
+            topo = expected_tree(spec)
+            cap = analyze_capacity(topo)
+            rows.append(
+                (
+                    spec.name,
+                    cap.n_switches,
+                    f"{cap.mean_path_length:.2f}",
+                    f"{cap.capacity_per_flow:.3f}",
+                    f"{cap.root_share * 100:.0f}%",
+                    survives_single_failures(spec),
+                    reconfig_time(spec),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E17_topologies",
+        "E17: topology characteristics under up*/down* routing",
+        ["topology", "switches", "mean path", "capacity/flow",
+         "root share", "survives 1 failure", "reconfig (ms)"],
+        [list(r[:-1]) + [fmt_ms(r[-1])] for r in rows],
+        notes=(
+            "capacity/flow = sustainable per-pair rate (link-bandwidth units)\n"
+            "under uniform traffic; root share = fraction of traversals on\n"
+            "root-attached links (up*/down* concentrates load at the root)"
+        ),
+    )
+    by_name = {r[0]: r for r in rows}
+    # a tree cannot survive single failures; the meshes can
+    assert not by_name["tree-d3f2"][5]
+    assert by_name["src-lan-30"][5]
+    # the tree funnels everything through the root
+    assert float(by_name["tree-d3f2"][4].rstrip("%")) > float(
+        by_name["src-lan-30"][4].rstrip("%")
+    )
+
+
+@pytest.mark.benchmark(group="E17")
+def test_routing_capacity_comparison(benchmark):
+    """Up*/down* vs tree-only routing on the SRC LAN: the cross links
+    roughly double the uniform-traffic capacity."""
+
+    def run():
+        topo = expected_tree(src_service_lan())
+        full = analyze_capacity(topo)
+        tree_only = analyze_capacity(tree_only_topology(topo))
+        return full, tree_only
+
+    full, tree_only = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "E17_routing_capacity",
+        "E17: SRC LAN uniform-traffic capacity by routing",
+        ["routing", "links used", "mean path", "capacity/flow", "root share"],
+        [
+            ["up*/down* (all links)", full.n_links, f"{full.mean_path_length:.2f}",
+             f"{full.capacity_per_flow:.3f}", f"{full.root_share * 100:.0f}%"],
+            ["spanning tree only", tree_only.n_links,
+             f"{tree_only.mean_path_length:.2f}",
+             f"{tree_only.capacity_per_flow:.3f}",
+             f"{tree_only.root_share * 100:.0f}%"],
+        ],
+    )
+    assert full.capacity_per_flow > 1.5 * tree_only.capacity_per_flow

@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench reproduces one table/figure-equivalent from the paper's
+evaluation (see DESIGN.md's experiment index).  Results are printed and
+also appended to ``benchmarks/results/<bench>.txt`` so the numbers that
+back EXPERIMENTS.md are regenerable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from repro.analysis.metrics import format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, title: str, headers: Sequence[str], rows: Iterable[Sequence[object]],
+           notes: str = "") -> str:
+    """Render, print, and persist one result table."""
+    table = format_table(headers, rows)
+    text = f"== {title} ==\n{table}\n"
+    if notes:
+        text += notes.rstrip() + "\n"
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text)
+    print("\n" + text)
+    return text
+
+
+def fmt_ms(ns) -> str:
+    return "-" if ns is None else f"{ns / 1e6:.1f}"
+
+
+def fmt_us(ns) -> str:
+    return "-" if ns is None else f"{ns / 1e3:.2f}"

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Reconfiguration under the microscope: fail a switch on the 30-switch
+SRC service LAN while RPC traffic runs, then reconstruct the event
+timeline by merging the per-switch circular logs -- the debugging
+technique of section 6.7.
+
+Run:  python examples/reconfiguration_timeline.py
+"""
+
+from repro import Network, src_service_lan
+from repro.analysis.logs import epochs_seen, reconfiguration_timeline
+from repro.constants import SEC
+from repro.host.localnet import LocalNet
+from repro.host.workload import RpcClient, RpcServer
+
+
+def main() -> None:
+    spec = src_service_lan()
+    net = Network(spec, seed=7)
+    net.add_host("client", [(0, 9), (1, 9)])
+    net.add_host("server", [(20, 9), (21, 9)])
+    ln_client = LocalNet(net.drivers["client"])
+    ln_server = LocalNet(net.drivers["server"])
+
+    print(f"booting the SRC service LAN: {spec.n_switches} switches, "
+          f"{len(spec.cables)} trunk links...")
+    assert net.run_until_converged(timeout_ns=120 * SEC)
+    net.run_for(5 * SEC)
+
+    RpcServer(ln_server)
+    client = RpcClient(ln_client, net.hosts["server"].uid, timeout_ns=1 * SEC)
+    net.run_for(5 * SEC)
+    before = client.completed
+    print(f"RPC workload running: {before} calls completed")
+
+    # crash a switch in the middle of the fabric
+    victim = 12
+    print(f"\ncrashing sw{victim}...")
+    net.crash_switch(victim)
+    assert net.run_until_converged(timeout_ns=120 * SEC)
+    epoch = net.current_epoch()
+    print(f"survived: {len(net.topology().switches)} switches in epoch {epoch}, "
+          f"{client.completed - before} more RPCs completed, "
+          f"longest gap {client.longest_gap_ns() / 1e9:.2f} s")
+
+    # merge the circular logs (normalizing per-switch clock offsets) and
+    # print the reconfiguration's history, as section 6.7 describes
+    timeline = reconfiguration_timeline(net.merged_log, epoch)
+    phases = timeline.phase_durations()
+    print(f"\nepoch {epoch} timeline (all epochs seen: {epochs_seen(net.merged_log)[-3:]}):")
+    print(f"  tree formation + reports : {phases['tree_and_reports'] / 1e6:8.1f} ms")
+    print(f"  distribute + table loads : {phases['distribute_and_load'] / 1e6:8.1f} ms")
+    print(f"  total                    : {phases['total'] / 1e6:8.1f} ms")
+
+    print("\nfirst 12 merged log records of the epoch:")
+    shown = 0
+    for entry in timeline.entries:
+        if entry.event in ("epoch-start", "position", "termination", "configured"):
+            print(f"  t={entry.local_time / 1e6:9.3f} ms  {entry.component:<5} "
+                  f"{entry.event:<12} {entry.detail}")
+            shown += 1
+            if shown >= 12:
+                break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,159 @@
+"""Invariant checks over computed configurations.
+
+These walk forwarding tables symbolically (no simulation) to verify the
+routing goals of section 6.6: every host and switch reachable, all
+operational links usable, no route violating the up*/down* rule, and
+misrouted packets discarded rather than looped.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Mapping, Set, Tuple
+
+from repro.constants import CONTROL_PROCESSOR_PORT
+from repro.core.routing import DOWN, arrival_phase, link_direction
+from repro.core.topo import NetLink, PortRef, TopologyMap
+from repro.net.forwarding import ForwardingEntry
+from repro.types import Uid, make_short_address
+
+EntryMap = Mapping[Tuple[int, int], ForwardingEntry]
+
+
+def trace_delivery(
+    topology: TopologyMap,
+    entries_by_uid: Mapping[Uid, EntryMap],
+    start_uid: Uid,
+    start_port: int,
+    address: int,
+    max_hops: int = 10_000,
+) -> Set[Tuple[Uid, int]]:
+    """All (switch, port) deliveries reachable for a packet, across every
+    alternative-port choice the switches could make.
+
+    Raises RuntimeError if any choice sequence loops (visits the same
+    (switch, in-port) state twice on one path is fine -- we do a BFS over
+    states, so a loop shows up as exceeding ``max_hops`` expansions).
+    """
+    delivered: Set[Tuple[Uid, int]] = set()
+    seen: Set[Tuple[Uid, int]] = set()
+    frontier = deque([(start_uid, start_port)])
+    hops = 0
+    while frontier:
+        hops += 1
+        if hops > max_hops:
+            raise RuntimeError("table walk did not terminate (routing loop?)")
+        uid, in_port = frontier.popleft()
+        if (uid, in_port) in seen:
+            continue
+        seen.add((uid, in_port))
+        entries = entries_by_uid.get(uid, {})
+        entry = entries.get((in_port, address))
+        if entry is None or entry.is_discard:
+            continue
+        neighbors = topology.neighbors(uid)
+        for out_port in entry.ports:
+            if out_port == CONTROL_PROCESSOR_PORT:
+                delivered.add((uid, CONTROL_PROCESSOR_PORT))
+            elif out_port in neighbors:
+                far = neighbors[out_port]
+                frontier.append((far.uid, far.port))
+            else:
+                # host port (or dangling): delivery off the fabric
+                delivered.add((uid, out_port))
+    return delivered
+
+
+def all_pairs_reachable(
+    topology: TopologyMap, entries_by_uid: Mapping[Uid, EntryMap]
+) -> Dict[Tuple[Uid, Uid], bool]:
+    """For every ordered switch pair (s, t): does a packet injected at s's
+    control processor reach t's control processor?"""
+    results: Dict[Tuple[Uid, Uid], bool] = {}
+    for src in topology.switches:
+        for dst, record in topology.switches.items():
+            number = topology.numbers.get(dst)
+            if number is None:
+                continue
+            address = make_short_address(number, CONTROL_PROCESSOR_PORT)
+            delivered = trace_delivery(
+                topology, entries_by_uid, src, CONTROL_PROCESSOR_PORT, address
+            )
+            results[(src, dst)] = (dst, CONTROL_PROCESSOR_PORT) in delivered
+        del record
+    return results
+
+
+def check_no_down_to_up(
+    topology: TopologyMap, entries_by_uid: Mapping[Uid, EntryMap]
+) -> None:
+    """Raise AssertionError if any table entry forwards a packet that
+    arrived on a down traversal back up (the rule of section 6.6.4)."""
+    for uid, entries in entries_by_uid.items():
+        neighbors = topology.neighbors(uid)
+        for (in_port, address), entry in entries.items():
+            if arrival_phase(topology, uid, in_port) != DOWN:
+                continue
+            for out_port in entry.ports:
+                if out_port not in neighbors:
+                    continue
+                far = neighbors[out_port]
+                link = NetLink(PortRef(uid, out_port), far)
+                up_end = link_direction(topology, link)
+                going_up = up_end.uid == far.uid and up_end.port == far.port
+                assert not going_up, (
+                    f"{uid}: entry (in={in_port}, addr={address:#x}) forwards "
+                    f"a descended packet up via port {out_port}"
+                )
+
+
+def assert_trail_legal(topology: TopologyMap, trail, uid_of_switch_name) -> None:
+    """Verify a delivered packet's recorded hops form a legal up*/down*
+    route: zero or more up traversals followed by zero or more down
+    traversals (section 6.6.4).
+
+    ``trail`` is the packet's per-hop record [(switch name, in port,
+    out ports)]; ``uid_of_switch_name`` maps names to UIDs.
+    """
+    descended = False
+    for i in range(len(trail) - 1):
+        name, _in_port, out_ports = trail[i]
+        uid = uid_of_switch_name(name)
+        next_name, next_in, _next_out = trail[i + 1]
+        next_uid = uid_of_switch_name(next_name)
+        # find the out port that led to the next hop
+        link = None
+        neighbors = topology.neighbors(uid)
+        for out_port in out_ports:
+            far = neighbors.get(out_port)
+            if far is not None and far.uid == next_uid and far.port == next_in:
+                link = NetLink(PortRef(uid, out_port), far)
+                break
+        if link is None:
+            continue  # hop crossed a link no longer in this topology view
+        up_end = link_direction(topology, link)
+        going_up = up_end.uid == next_uid
+        if going_up:
+            assert not descended, (
+                f"illegal route: up traversal {name}->{next_name} after a "
+                f"down traversal; trail={trail}"
+            )
+        else:
+            descended = True
+
+
+def links_used(
+    topology: TopologyMap, entries_by_uid: Mapping[Uid, EntryMap]
+) -> Set[NetLink]:
+    """The set of switch-to-switch links appearing in at least one entry.
+
+    Up*/down* promises all non-loop links remain usable (section 4.2).
+    """
+    used: Set[NetLink] = set()
+    for uid, entries in entries_by_uid.items():
+        neighbors = topology.neighbors(uid)
+        for (_in_port, _address), entry in entries.items():
+            for out_port in entry.ports:
+                if out_port in neighbors:
+                    used.add(NetLink(PortRef(uid, out_port), neighbors[out_port]))
+    return used

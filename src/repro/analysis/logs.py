@@ -1,0 +1,85 @@
+"""Reconfiguration-timeline analysis from merged switch logs (section 6.7).
+
+The paper's main debugging technique: retrieve each switch's circular log
+(via SRP), normalize the local timestamps, merge, and read the complete
+history of a reconfiguration.  ``reconfiguration_timeline`` extracts one
+epoch's history; ``phase_durations`` splits it into the five steps of
+section 6.6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.trace import MergedLog, TraceEntry
+
+
+@dataclass
+class EpochTimeline:
+    """The merged history of one reconfiguration epoch."""
+
+    epoch: int
+    entries: List[TraceEntry]
+
+    @property
+    def started_at(self) -> Optional[int]:
+        starts = [e.local_time for e in self.entries if e.event == "epoch-start"]
+        return min(starts) if starts else None
+
+    @property
+    def terminated_at(self) -> Optional[int]:
+        terms = [e.local_time for e in self.entries if e.event == "termination"]
+        return min(terms) if terms else None
+
+    @property
+    def completed_at(self) -> Optional[int]:
+        done = [e.local_time for e in self.entries if e.event == "configured"]
+        return max(done) if done else None
+
+    def duration(self) -> Optional[int]:
+        if self.started_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    def phase_durations(self) -> Dict[str, Optional[int]]:
+        """Tree formation + reports (steps 1-2) vs distribution + load
+        (steps 4-5), split at the root's termination detection."""
+        start, term, done = self.started_at, self.terminated_at, self.completed_at
+        return {
+            "tree_and_reports": (term - start) if start is not None and term is not None else None,
+            "distribute_and_load": (done - term) if term is not None and done is not None else None,
+            "total": self.duration(),
+        }
+
+
+def _epoch_of(entry: TraceEntry) -> Optional[int]:
+    for token in entry.detail.split():
+        if token.startswith("epoch="):
+            try:
+                return int(token[len("epoch="):])
+            except ValueError:
+                return None
+    return None
+
+
+def reconfiguration_timeline(log: MergedLog, epoch: int) -> EpochTimeline:
+    """Extract one epoch's merged, time-normalized history."""
+    relevant = []
+    for entry in log.merged():
+        if entry.event in ("epoch-start", "termination", "configured", "config-timeout"):
+            if _epoch_of(entry) == epoch:
+                relevant.append(entry)
+        elif entry.event in ("position", "reconfig-trigger", "port-state"):
+            relevant.append(entry)
+    return EpochTimeline(epoch=epoch, entries=relevant)
+
+
+def epochs_seen(log: MergedLog) -> List[int]:
+    found = set()
+    for entry in log.merged():
+        if entry.event == "epoch-start":
+            epoch = _epoch_of(entry)
+            if epoch is not None:
+                found.add(epoch)
+    return sorted(found)

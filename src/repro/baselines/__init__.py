@@ -1,0 +1,26 @@
+"""Comparators: the networks and routings Autonet is evaluated against.
+
+* :mod:`ethernet` -- the 10 Mbit/s shared-medium LAN Autonet replaced.
+* :mod:`token_ring` -- an FDDI-like 100 Mbit/s token ring (section 1's
+  comparison: aggregate bandwidth limited to link bandwidth, latency
+  proportional to the number of stations).
+* :mod:`routing_ablation` -- spanning-tree-only forwarding (802.1-bridge
+  style) and unrestricted shortest-path forwarding, the two routings
+  up*/down* is measured against in E11.
+"""
+
+from repro.baselines.ethernet import Ethernet, EthernetStation
+from repro.baselines.token_ring import TokenRing, RingStation
+from repro.baselines.routing_ablation import (
+    build_shortest_path_entries,
+    tree_only_topology,
+)
+
+__all__ = [
+    "Ethernet",
+    "EthernetStation",
+    "TokenRing",
+    "RingStation",
+    "build_shortest_path_entries",
+    "tree_only_topology",
+]

@@ -1,0 +1,207 @@
+"""Up*/down* route computation and forwarding-table fill (section 6.6.4).
+
+The spanning tree imposes a direction on every operational link: the "up"
+end is the end closer to the root (ties broken by lower UID).  A legal
+route traverses zero or more links up, then zero or more links down --
+never up after down -- which makes the directed channel-dependency graph
+acyclic and hence the network deadlock-free while still using every link.
+
+Autopilot fills the tables with only the *minimum hop count* legal routes
+(the paper's current version).  Because tables are indexed by the
+receiving port as well as the destination, the up*/down* rule is enforced
+locally: a packet that arrived over a "down" traversal gets only "down"
+continuations, and entries that would violate the rule discard the packet
+(protecting against corrupted short addresses).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.constants import (
+    ADDR_BROADCAST_ALL,
+    ADDR_BROADCAST_HOSTS,
+    ADDR_BROADCAST_SWITCHES,
+    CONTROL_PROCESSOR_PORT,
+    PORTS_PER_SWITCH,
+)
+from repro.core.topo import NetLink, PortRef, TopologyMap
+from repro.net.forwarding import DISCARD_ENTRY, ForwardingEntry
+from repro.types import Uid, make_short_address
+
+#: phases of a legal route: UP may still climb; DOWN must descend
+UP, DOWN = 0, 1
+
+
+def link_direction(topology: TopologyMap, link: NetLink) -> PortRef:
+    """Return the link's "up" end (closer to the root; ties by lower UID)."""
+    level_a = topology.level(link.a.uid)
+    level_b = topology.level(link.b.uid)
+    if level_a != level_b:
+        return link.a if level_a < level_b else link.b
+    return link.a if link.a.uid < link.b.uid else link.b
+
+
+def legal_distances(topology: TopologyMap, dest: Uid) -> Dict[Tuple[Uid, int], float]:
+    """Minimum legal-route hop counts to ``dest`` from every (switch, phase).
+
+    ``dist[(s, UP)]`` assumes the packet at ``s`` may still go up;
+    ``dist[(s, DOWN)]`` assumes it has already descended.  Unreachable
+    states get ``inf``.
+    """
+    dist: Dict[Tuple[Uid, int], float] = {
+        (uid, phase): float("inf")
+        for uid in topology.switches
+        for phase in (UP, DOWN)
+    }
+    dist[(dest, UP)] = 0.0
+    dist[(dest, DOWN)] = 0.0
+
+    # reverse adjacency over the layered graph
+    preds: Dict[Tuple[Uid, int], List[Tuple[Uid, int]]] = {key: [] for key in dist}
+    for link in topology.links:
+        if link.is_loop:
+            continue
+        up_end = link_direction(topology, link)
+        down_end = link.other_end(up_end.uid)
+        uu, dd = up_end.uid, down_end.uid
+        # forward: (dd, UP) --up--> (uu, UP)
+        preds[(uu, UP)].append((dd, UP))
+        # forward: (uu, UP) --down--> (dd, DOWN); (uu, DOWN) --down--> (dd, DOWN)
+        preds[(dd, DOWN)].append((uu, UP))
+        preds[(dd, DOWN)].append((uu, DOWN))
+
+    frontier = deque([(dest, UP), (dest, DOWN)])
+    while frontier:
+        state = frontier.popleft()
+        for pred in preds[state]:
+            if dist[pred] == float("inf"):
+                dist[pred] = dist[state] + 1
+                frontier.append(pred)
+    return dist
+
+
+def arrival_phase(topology: TopologyMap, uid: Uid, in_port: int) -> int:
+    """Phase of a packet arriving at ``uid`` on ``in_port``.
+
+    Arrivals from hosts or the control processor have used no
+    switch-to-switch link, so they may still go up.
+    """
+    neighbors = topology.neighbors(uid)
+    if in_port not in neighbors:
+        return UP
+    far = neighbors[in_port]
+    link = NetLink(PortRef(uid, in_port), far)
+    up_end = link_direction(topology, link)
+    # if we are the up end, the packet climbed toward the root: still UP
+    return UP if up_end.uid == uid and up_end.port == in_port else DOWN
+
+
+def next_hop_ports(
+    topology: TopologyMap,
+    uid: Uid,
+    phase: int,
+    dest: Uid,
+    dist: Dict[Tuple[Uid, int], float],
+) -> Tuple[int, ...]:
+    """Output ports lying on some minimum-hop legal route toward ``dest``."""
+    here = dist[(uid, phase)]
+    if here == float("inf"):
+        return ()
+    ports: List[int] = []
+    for port, far in topology.neighbors(uid).items():
+        link = NetLink(PortRef(uid, port), far)
+        up_end = link_direction(topology, link)
+        going_up = up_end.uid == far.uid and up_end.port == far.port
+        if phase == DOWN and going_up:
+            continue  # never up after down
+        next_phase = UP if going_up else DOWN
+        if dist[(far.uid, next_phase)] + 1 == here:
+            ports.append(port)
+    return tuple(sorted(ports))
+
+
+def build_forwarding_entries(
+    topology: TopologyMap,
+    my_uid: Uid,
+    my_host_ports: Optional[FrozenSet[int]] = None,
+    n_ports: int = PORTS_PER_SWITCH,
+) -> Dict[Tuple[int, int], ForwardingEntry]:
+    """Compute one switch's forwarding table for the given configuration.
+
+    ``my_host_ports`` overrides the host-port set recorded in the topology
+    (the local switch knows its own port states most currently).
+    Entries cover every assignable short address in use plus the three
+    broadcast addresses; everything else falls through to the table's
+    default discard.
+    """
+    me = topology.switches[my_uid]
+    host_ports = set(my_host_ports if my_host_ports is not None else me.host_ports)
+    neighbors = topology.neighbors(my_uid)
+    in_ports = list(range(0, n_ports + 1))
+
+    entries: Dict[Tuple[int, int], ForwardingEntry] = {}
+
+    # -- unicast entries to every switch's addresses ---------------------------------
+    phases = {i: arrival_phase(topology, my_uid, i) for i in in_ports}
+    for dest_uid, record in topology.switches.items():
+        number = topology.numbers.get(dest_uid)
+        if number is None:
+            continue
+        if dest_uid == my_uid:
+            for q in range(0, n_ports + 1):
+                address = make_short_address(number, q)
+                if q == CONTROL_PROCESSOR_PORT:
+                    entry = ForwardingEntry((CONTROL_PROCESSOR_PORT,))
+                elif q in host_ports:
+                    entry = ForwardingEntry((q,))
+                else:
+                    entry = DISCARD_ENTRY
+                for i in in_ports:
+                    entries[(i, address)] = entry
+            continue
+        dist = legal_distances(topology, dest_uid)
+        per_phase = {
+            phase: next_hop_ports(topology, my_uid, phase, dest_uid, dist)
+            for phase in (UP, DOWN)
+        }
+        for q in range(0, n_ports + 1):
+            address = make_short_address(number, q)
+            for i in in_ports:
+                ports = per_phase[phases[i]]
+                entries[(i, address)] = (
+                    ForwardingEntry(ports) if ports else DISCARD_ENTRY
+                )
+
+    # -- broadcast flood entries (section 6.6.6) ---------------------------------------
+    children = topology.children_ports(my_uid)
+    is_root = topology.root == my_uid
+    parent_port = me.parent_port
+
+    def flood_set(address: int) -> Tuple[int, ...]:
+        ports: Set[int] = set(children)
+        if address in (ADDR_BROADCAST_ALL, ADDR_BROADCAST_HOSTS):
+            ports |= host_ports
+        if address in (ADDR_BROADCAST_ALL, ADDR_BROADCAST_SWITCHES):
+            ports.add(CONTROL_PROCESSOR_PORT)
+        return tuple(sorted(ports))
+
+    up_sources = {CONTROL_PROCESSOR_PORT} | host_ports | set(children)
+    for address in (ADDR_BROADCAST_ALL, ADDR_BROADCAST_SWITCHES, ADDR_BROADCAST_HOSTS):
+        down = ForwardingEntry(flood_set(address), broadcast=True)
+        for i in in_ports:
+            if i in up_sources:
+                if is_root:
+                    entries[(i, address)] = down
+                else:
+                    entries[(i, address)] = ForwardingEntry(
+                        (parent_port,), broadcast=True
+                    )
+            elif i == parent_port:
+                entries[(i, address)] = down
+            else:
+                # cross links and unused ports never carry broadcasts
+                entries[(i, address)] = DISCARD_ENTRY
+
+    return entries

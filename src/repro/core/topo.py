@@ -1,0 +1,198 @@
+"""Topology and spanning-tree descriptions exchanged during reconfiguration.
+
+During step 2 of reconfiguration (section 6.6), a description of the
+available physical topology and spanning tree accumulates up the tree to
+the root; in step 4 the complete description travels back down.  These are
+the value objects carried in those reports, plus :class:`TopologyMap`, the
+complete picture each switch uses in step 5 to compute its forwarding
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.types import Uid
+
+
+@dataclass(frozen=True, order=True)
+class PortRef:
+    """A specific port on a specific switch."""
+
+    uid: Uid
+    port: int
+
+    def __repr__(self) -> str:
+        return f"{self.uid}:{self.port}"
+
+
+@dataclass(frozen=True)
+class NetLink:
+    """One operational switch-to-switch link, direction-free.
+
+    Stored with endpoints in sorted order so that the two switches'
+    independent observations of the same cable merge to one record.
+    """
+
+    a: PortRef
+    b: PortRef
+
+    def __post_init__(self) -> None:
+        first, second = self.a, self.b
+        if (second.uid, second.port) < (first.uid, first.port):
+            object.__setattr__(self, "a", second)
+            object.__setattr__(self, "b", first)
+
+    def endpoint_at(self, uid: Uid) -> PortRef:
+        if self.a.uid == uid:
+            return self.a
+        if self.b.uid == uid:
+            return self.b
+        raise ValueError(f"{uid} not on link {self}")
+
+    def other_end(self, uid: Uid) -> PortRef:
+        if self.a.uid == uid:
+            return self.b
+        if self.b.uid == uid:
+            return self.a
+        raise ValueError(f"{uid} not on link {self}")
+
+    @property
+    def is_loop(self) -> bool:
+        return self.a.uid == self.b.uid
+
+
+@dataclass(frozen=True)
+class SwitchRecord:
+    """One switch's contribution to the topology report."""
+
+    uid: Uid
+    #: tree level (0 at the root)
+    level: int
+    #: this switch's port leading to its tree parent (None at the root)
+    parent_port: Optional[int]
+    #: UID of the tree parent (None at the root)
+    parent_uid: Optional[Uid]
+    #: ports classified s.host
+    host_ports: FrozenSet[int] = frozenset()
+    #: switch number remembered from the previous epoch (1 if fresh)
+    proposed_number: int = 1
+
+
+@dataclass
+class TopologyMap:
+    """The complete topology + spanning tree + address assignment."""
+
+    root: Uid
+    switches: Dict[Uid, SwitchRecord] = field(default_factory=dict)
+    links: Set[NetLink] = field(default_factory=set)
+    #: switch-number assignment computed by the root (step 3)
+    numbers: Dict[Uid, int] = field(default_factory=dict)
+
+    # -- derived views ----------------------------------------------------------------
+
+    def neighbors(self, uid: Uid) -> Dict[int, PortRef]:
+        """Map each of ``uid``'s switch-to-switch ports to the far end."""
+        result: Dict[int, PortRef] = {}
+        for link in self.links:
+            if link.is_loop:
+                continue
+            if link.a.uid == uid:
+                result[link.a.port] = link.b
+            elif link.b.uid == uid:
+                result[link.b.port] = link.a
+        return result
+
+    def level(self, uid: Uid) -> int:
+        return self.switches[uid].level
+
+    def children_ports(self, uid: Uid) -> List[int]:
+        """Ports of ``uid`` that are the parent end of some child's tree link."""
+        ports = []
+        me = self.switches[uid]
+        for other in self.switches.values():
+            if other.parent_uid == uid and other.parent_port is not None:
+                # find the link whose endpoint at the child is parent_port
+                for link in self.links:
+                    try:
+                        child_end = link.endpoint_at(other.uid)
+                        my_end = link.endpoint_at(uid)
+                    except ValueError:
+                        continue
+                    if link.is_loop:
+                        continue
+                    if child_end.port == other.parent_port:
+                        ports.append(my_end.port)
+                        break
+        del me
+        return sorted(ports)
+
+    def tree_depth(self) -> int:
+        return max((record.level for record in self.switches.values()), default=0)
+
+    def validate(self) -> None:
+        """Internal consistency checks; raises ValueError on violation."""
+        if self.root not in self.switches:
+            raise ValueError("root not among switches")
+        root_record = self.switches[self.root]
+        if root_record.level != 0 or root_record.parent_uid is not None:
+            raise ValueError("root record malformed")
+        for uid, record in self.switches.items():
+            if uid == self.root:
+                continue
+            if record.parent_uid is None or record.parent_uid not in self.switches:
+                raise ValueError(f"{uid} has no valid parent")
+            if self.switches[record.parent_uid].level != record.level - 1:
+                raise ValueError(f"{uid} level inconsistent with parent")
+        for link in self.links:
+            for end in (link.a, link.b):
+                if end.uid not in self.switches:
+                    raise ValueError(f"link endpoint {end} unknown")
+
+    # -- sizing (for transmission timing) -------------------------------------------------
+
+    def encoded_bytes(self) -> int:
+        """Approximate wire size of the full description (section 6.6:
+        reports grow as the stable subtree grows)."""
+        return 16 * len(self.switches) + 12 * len(self.links) + 8 * len(self.numbers) + 16
+
+
+def merge_reports(
+    root: Uid,
+    own: SwitchRecord,
+    own_links: Iterable[NetLink],
+    child_maps: Iterable[TopologyMap],
+) -> TopologyMap:
+    """Combine a switch's own record with its stable children's subtrees."""
+    merged = TopologyMap(root=root)
+    merged.switches[own.uid] = own
+    merged.links.update(own_links)
+    for child_map in child_maps:
+        merged.switches.update(child_map.switches)
+        merged.links.update(child_map.links)
+    return merged
+
+
+def relevel(topology: TopologyMap) -> TopologyMap:
+    """Recompute levels from parent pointers (defensive normalization)."""
+    levels: Dict[Uid, int] = {topology.root: 0}
+    changed = True
+    while changed:
+        changed = False
+        for uid, record in topology.switches.items():
+            if uid in levels:
+                continue
+            if record.parent_uid in levels:
+                levels[uid] = levels[record.parent_uid] + 1
+                changed = True
+    new_switches = {
+        uid: replace(record, level=levels.get(uid, record.level))
+        for uid, record in topology.switches.items()
+    }
+    return TopologyMap(
+        root=topology.root,
+        switches=new_switches,
+        links=set(topology.links),
+        numbers=dict(topology.numbers),
+    )

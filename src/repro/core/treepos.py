@@ -1,0 +1,57 @@
+"""Tree positions and the Perlman-style comparison rule (section 6.6.1).
+
+Each switch maintains its current position in the forming spanning tree as
+(root UID, level, parent UID, port to parent).  A port offering a new
+position is a *better parent link* if it leads to:
+
+1. a root with a smaller UID, or
+2. the same root via a shorter tree path, or
+3. the same root and length but through a parent with a smaller UID, or
+4. the same parent but via a lower port number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.types import Uid
+
+
+@dataclass(frozen=True)
+class TreePosition:
+    """A switch's claimed position in the spanning tree."""
+
+    root: Uid
+    level: int
+    parent_uid: Optional[Uid] = None
+    parent_port: Optional[int] = None
+
+    @staticmethod
+    def as_root(uid: Uid) -> "TreePosition":
+        """The initial position: every switch assumes it is the root."""
+        return TreePosition(root=uid, level=0, parent_uid=None, parent_port=None)
+
+    def sort_key(self) -> tuple:
+        """Total order: smaller is better."""
+        return (
+            self.root,
+            self.level,
+            self.parent_uid if self.parent_uid is not None else Uid(0),
+            self.parent_port if self.parent_port is not None else -1,
+        )
+
+    def better_than(self, other: "TreePosition") -> bool:
+        return self.sort_key() < other.sort_key()
+
+
+def candidate_position(
+    neighbor_root: Uid, neighbor_level: int, neighbor_uid: Uid, my_port: int
+) -> TreePosition:
+    """The position I would hold by adopting this neighbor as parent."""
+    return TreePosition(
+        root=neighbor_root,
+        level=neighbor_level + 1,
+        parent_uid=neighbor_uid,
+        parent_port=my_port,
+    )

@@ -1,0 +1,27 @@
+"""Scenario builders shared by the test suite and the benchmark harness.
+
+Each module reconstructs one of the paper's evaluation setups: the FIFO
+worst case behind the sizing equations of section 6.2, the exact
+broadcast-deadlock configuration of Figure 9, and the switch-latency
+measurement rigs of sections 5.1/6.4.
+"""
+
+from repro.experiments.fifo_sizing import (
+    broadcast_fifo_requirement,
+    fifo_requirement,
+    measure_backlog,
+    measure_broadcast_backlog,
+)
+from repro.experiments.fig9 import Fig9Scenario, build_fig9
+from repro.experiments.latency import hop_latency, router_throughput
+
+__all__ = [
+    "fifo_requirement",
+    "broadcast_fifo_requirement",
+    "measure_backlog",
+    "measure_broadcast_backlog",
+    "Fig9Scenario",
+    "build_fig9",
+    "hop_latency",
+    "router_throughput",
+]

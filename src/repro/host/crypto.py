@@ -1,0 +1,73 @@
+"""Integrated encryption (sections 3.10, 6.8).
+
+Every Autonet controller carries a pipelined encryption chip (an AMD
+8068) that encrypts and decrypts packets at line rate, so secure
+communication pays *no* latency or throughput penalty -- the design
+argument of section 3.10.  The 26-byte encryption information field in
+the packet header tells the receiving controller whether to decrypt,
+which key to use, and which part of the packet is covered (Herbison's
+master-key scheme; the paper defers details).
+
+The model keeps the paper's observable behaviour: encryption is a
+zero-cost transform applied in the controller pipeline; only holders of
+the session key recover the payload; headers (short addresses, UIDs)
+stay in the clear so switches and the learning cache work unchanged;
+bridges refuse to forward encrypted packets to the Ethernet (§6.8.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
+
+from repro.types import Uid
+
+_key_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class EncryptedPayload:
+    """The ciphertext: a key id plus the (opaque) protected payload."""
+
+    key_id: int
+    ciphertext: object
+
+    def __repr__(self) -> str:
+        return f"<encrypted key_id={self.key_id}>"
+
+
+class KeyStore:
+    """Session-key distribution for one installation.
+
+    Stands in for the master-key infrastructure: `issue` creates a
+    session key shared by a set of hosts; controllers consult `holds` to
+    decide whether an arriving packet can be decrypted.
+    """
+
+    def __init__(self) -> None:
+        self._holders: Dict[int, Set[Uid]] = {}
+
+    def issue(self, holders: Iterable[Uid]) -> int:
+        """Create a session key shared by ``holders``; returns its id."""
+        key_id = next(_key_ids)
+        self._holders[key_id] = set(holders)
+        return key_id
+
+    def grant(self, key_id: int, uid: Uid) -> None:
+        self._holders.setdefault(key_id, set()).add(uid)
+
+    def revoke(self, key_id: int, uid: Uid) -> None:
+        self._holders.get(key_id, set()).discard(uid)
+
+    def holds(self, uid: Uid, key_id: int) -> bool:
+        return uid in self._holders.get(key_id, set())
+
+    def encrypt(self, key_id: int, payload: object) -> EncryptedPayload:
+        """Pipelined: costs nothing extra on the wire or in latency."""
+        return EncryptedPayload(key_id=key_id, ciphertext=payload)
+
+    def decrypt(self, uid: Uid, sealed: EncryptedPayload) -> object:
+        if not self.holds(uid, sealed.key_id):
+            raise PermissionError(f"{uid} does not hold key {sealed.key_id}")
+        return sealed.ciphertext

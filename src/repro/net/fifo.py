@@ -1,0 +1,372 @@
+"""Receive-FIFO fluid model (sections 5.1, 6.2).
+
+Each switch port buffers arriving bytes in a FIFO (4096 bytes in the real
+hardware).  The FIFO's occupancy is piecewise-linear in time because every
+link runs at the same 80 ns/byte rate and rates only change at discrete
+events (flow-control transitions, packet boundaries, crossbar grants).  We
+therefore track byte counts analytically and schedule a single *boundary*
+event per FIFO at the earliest time anything interesting happens:
+
+* the head packet's first two address bytes arrive (routing request, §6.3),
+* cut-through becomes possible (25 bytes arrived, §3.5),
+* the occupancy crosses the stop/start watermark (flow control, §6.2),
+* the head packet finishes draining (output ports free, §5.1),
+* the drain catches up with the arrival (pass-through or stall).
+
+External state changes (grants, upstream rate changes, downstream flow
+control) call :meth:`ReceiveFifo.recompute`, which advances the linear
+state to "now" and reprograms the boundary event.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Sequence
+
+from repro.constants import BYTE_TIME_NS, CUT_THROUGH_BYTES, DEFAULT_FIFO_BYTES
+from repro.net.flowcontrol import Directive
+from repro.net.packet import Packet
+from repro.sim.engine import EventHandle, Simulator
+
+_EPS = 1e-6
+
+
+class DrainTarget:
+    """Where a draining FIFO's bytes go: one or more output transmitters,
+    or the discard sink.  Implementations forward begin/rate/end markers to
+    the next hop (or nowhere)."""
+
+    def drain_allowed(self, broadcast: bool) -> bool:
+        raise NotImplementedError
+
+    def notify_begin(self, packet: Packet, broadcast: bool) -> None:
+        raise NotImplementedError
+
+    def notify_rate(self, rate: float) -> None:
+        raise NotImplementedError
+
+    def notify_end(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+
+class DiscardSink(DrainTarget):
+    """Sinks packet bytes at link rate; used for discard table entries."""
+
+    def __init__(self) -> None:
+        self.packets_discarded = 0
+        self.bytes_discarded = 0.0
+
+    def drain_allowed(self, broadcast: bool) -> bool:
+        return True
+
+    def notify_begin(self, packet: Packet, broadcast: bool) -> None:
+        pass
+
+    def notify_rate(self, rate: float) -> None:
+        pass
+
+    def notify_end(self, packet: Packet) -> None:
+        self.packets_discarded += 1
+        self.bytes_discarded += packet.wire_bytes
+
+
+class FifoPacket:
+    """Book-keeping for one packet resident in (or flowing through) a FIFO."""
+
+    __slots__ = ("packet", "bytes_in", "bytes_out", "arriving", "requested",
+                 "targets", "broadcast", "drain_started")
+
+    def __init__(self, packet: Packet, arriving: bool = True) -> None:
+        self.packet = packet
+        self.bytes_in: float = 0.0
+        self.bytes_out: float = 0.0
+        self.arriving = arriving
+        #: routing request issued to the switch for this packet
+        self.requested = False
+        #: drain connection (set by the crossbar on grant)
+        self.targets: Optional[Sequence[DrainTarget]] = None
+        self.broadcast = False
+        self.drain_started = False
+
+    @property
+    def size(self) -> int:
+        return self.packet.wire_bytes
+
+    @property
+    def available(self) -> float:
+        return self.bytes_in - self.bytes_out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FifoPacket({self.packet!r} in={self.bytes_in:.0f} "
+                f"out={self.bytes_out:.0f} arriving={self.arriving})")
+
+
+class ReceiveFifo:
+    """The receive FIFO of one link unit, with start/stop flow control."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        capacity: int = DEFAULT_FIFO_BYTES,
+        stop_fraction: float = 0.5,
+        cut_through_bytes: int = CUT_THROUGH_BYTES,
+        on_head_ready: Optional[Callable[[Packet], None]] = None,
+        on_level_directive: Optional[Callable[[Directive], None]] = None,
+        on_packet_drained: Optional[Callable[[Packet], None]] = None,
+        on_overflow: Optional[Callable[[Packet], None]] = None,
+        on_underflow: Optional[Callable[[Packet], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.stop_threshold = capacity * (1.0 - stop_fraction)
+        self.cut_through_bytes = cut_through_bytes
+        self.on_head_ready = on_head_ready
+        self.on_level_directive = on_level_directive
+        self.on_packet_drained = on_packet_drained
+        self.on_overflow = on_overflow
+        self.on_underflow = on_underflow
+
+        self.queue: Deque[FifoPacket] = deque()
+        #: arrival rate in bytes per slot (0.0 or 1.0); applies to the
+        #: newest entry while it is still arriving
+        self.in_rate: float = 0.0
+        #: current drain rate of the head packet
+        self.drain_rate: float = 0.0
+        self._last_update: int = sim.now
+        self._boundary: Optional[EventHandle] = None
+        #: directive currently implied by the level (start below threshold)
+        self._level_stop = False
+
+        # statistics / status-bit feeds
+        self.bytes_forwarded: float = 0.0
+        self.packets_seen: int = 0
+        self.max_level: float = 0.0
+        self.overflowed = False
+
+    # -- public queries ---------------------------------------------------------
+
+    @property
+    def level(self) -> float:
+        """Current occupancy in bytes (advance first for exactness)."""
+        self._advance()
+        return self._level()
+
+    def _level(self) -> float:
+        return sum(entry.bytes_in - entry.bytes_out for entry in self.queue)
+
+    @property
+    def head(self) -> Optional[FifoPacket]:
+        return self.queue[0] if self.queue else None
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the level currently demands a ``stop`` directive."""
+        return self._level_stop
+
+    # -- upstream (arrival) interface ---------------------------------------------
+
+    def begin_packet(self, packet: Packet) -> None:
+        """A packet's first byte is arriving now."""
+        self._advance()
+        entry = FifoPacket(packet, arriving=True)
+        self.queue.append(entry)
+        self.packets_seen += 1
+        self._recompute()
+
+    def set_in_rate(self, rate: float) -> None:
+        """The arrival rate changed (upstream started/stopped sending)."""
+        self._advance()
+        self.in_rate = rate
+        self._recompute()
+
+    def end_packet(self, packet: Packet) -> None:
+        """The packet's last byte has arrived."""
+        self._advance()
+        entry = self._arriving_entry()
+        if entry is None or entry.packet is not packet:
+            # the entry may already have been fully drained and popped
+            # (cut-through finished exactly as the tail arrived)
+            self.in_rate = 0.0
+            self._recompute()
+            return
+        entry.bytes_in = float(entry.size)
+        entry.arriving = False
+        self.in_rate = 0.0
+        self._recompute()
+
+    def _arriving_entry(self) -> Optional[FifoPacket]:
+        if self.queue and self.queue[-1].arriving:
+            return self.queue[-1]
+        return None
+
+    # -- drain (crossbar) interface ---------------------------------------------
+
+    def connect_drain(self, targets: Sequence[DrainTarget], broadcast: bool) -> None:
+        """The router granted output ports to the head packet."""
+        self._advance()
+        entry = self.head
+        if entry is None:
+            raise RuntimeError(f"{self.name}: grant with empty FIFO")
+        entry.targets = list(targets)
+        entry.broadcast = broadcast
+        self._recompute()
+
+    def recompute(self) -> None:
+        """Re-evaluate rates after an external state change."""
+        self._advance()
+        self._recompute()
+
+    # -- internal dynamics ---------------------------------------------------------
+
+    def _advance(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt <= 0:
+            return
+        slots = dt / BYTE_TIME_NS
+        entry = self._arriving_entry()
+        if entry is not None and self.in_rate > 0:
+            entry.bytes_in = min(float(entry.size), entry.bytes_in + self.in_rate * slots)
+        head = self.head
+        if head is not None and self.drain_rate > 0:
+            moved = min(self.drain_rate * slots, head.bytes_in - head.bytes_out)
+            head.bytes_out += moved
+            self.bytes_forwarded += moved
+        self._last_update = now
+        level = self._level()
+        if level > self.max_level:
+            self.max_level = level
+        if level > self.capacity + _EPS and not self.overflowed:
+            self.overflowed = True
+            victim = self._arriving_entry()
+            if victim is not None:
+                victim.packet.corrupted = True
+            if self.on_overflow is not None:
+                self.on_overflow(victim.packet if victim else None)
+
+    def _effective_in_rate(self) -> float:
+        return self.in_rate if self._arriving_entry() is not None else 0.0
+
+    def _desired_drain_rate(self) -> float:
+        head = self.head
+        if head is None or head.targets is None:
+            return 0.0
+        if not head.drain_started:
+            threshold = min(self.cut_through_bytes, head.size)
+            if head.bytes_in + _EPS < threshold:
+                return 0.0
+        if not all(t.drain_allowed(head.broadcast) for t in head.targets):
+            return 0.0
+        if head.available > _EPS:
+            return 1.0
+        if head.arriving or (self.queue and self.queue[-1] is head and self.in_rate > 0):
+            # pass-through: forward at the arrival rate
+            rate = self.in_rate if head is self._arriving_entry() else 0.0
+            if rate <= 0 and head.drain_started and head.bytes_out + _EPS < head.size:
+                if self.on_underflow is not None:
+                    self.on_underflow(head.packet)
+            return rate
+        return 0.0
+
+    def _recompute(self) -> None:
+        head = self.head
+
+        # head routing request: first two address bytes present
+        if head is not None and not head.requested and head.bytes_in + _EPS >= 2:
+            head.requested = True
+            if self.on_head_ready is not None:
+                self.on_head_ready(head.packet)
+
+        # (re)establish drain rate and emit begin/rate markers downstream
+        new_rate = self._desired_drain_rate()
+        if head is not None and head.targets is not None:
+            if new_rate > 0 and not head.drain_started:
+                head.drain_started = True
+                for target in head.targets:
+                    target.notify_begin(head.packet, head.broadcast)
+            if head.drain_started and abs(new_rate - self.drain_rate) > _EPS:
+                for target in head.targets:
+                    target.notify_rate(new_rate)
+        self.drain_rate = new_rate if (head is not None and head.drain_started) else 0.0
+
+        # head completion
+        if head is not None and head.bytes_out + _EPS >= head.size:
+            self._complete_head()
+            return  # _complete_head recurses into _recompute
+
+        # flow-control directive from level trajectory
+        level = self._level()
+        net = self._effective_in_rate() - self.drain_rate
+        if level > self.stop_threshold + _EPS:
+            self._set_level_stop(True)
+        elif level < self.stop_threshold - _EPS or (abs(level - self.stop_threshold) <= _EPS and net <= 0):
+            self._set_level_stop(False)
+
+        self._program_boundary(level, net)
+
+    def _set_level_stop(self, stop: bool) -> None:
+        if stop == self._level_stop:
+            return
+        self._level_stop = stop
+        if self.on_level_directive is not None:
+            self.on_level_directive(Directive.STOP if stop else Directive.START)
+
+    def _complete_head(self) -> None:
+        head = self.queue.popleft()
+        self.drain_rate = 0.0
+        if head.targets is not None:
+            for target in head.targets:
+                target.notify_end(head.packet)
+        if self.on_packet_drained is not None:
+            self.on_packet_drained(head.packet)
+        # promote the next packet: its routing request may now be issued
+        self._recompute()
+
+    def _program_boundary(self, level: float, net: float) -> None:
+        """Schedule the earliest future event that changes the dynamics."""
+        if self._boundary is not None:
+            self._boundary.cancel()
+            self._boundary = None
+
+        candidates: List[float] = []
+        head = self.head
+        in_rate = self._effective_in_rate()
+
+        if head is not None:
+            if not head.requested and in_rate > 0 and head is self._arriving_entry():
+                candidates.append((2.0 - head.bytes_in) / in_rate)
+            if head.targets is not None and not head.drain_started and in_rate > 0 \
+                    and head is self._arriving_entry():
+                threshold = min(self.cut_through_bytes, head.size)
+                candidates.append((threshold - head.bytes_in) / in_rate)
+            if self.drain_rate > 0:
+                # completion of the head packet
+                candidates.append((head.size - head.bytes_out) / self.drain_rate)
+                # drain catches up with arrival (stall / pass-through switch)
+                if head is self._arriving_entry() and self.drain_rate > in_rate:
+                    candidates.append(head.available / (self.drain_rate - in_rate))
+                elif not head.arriving and head.available < head.size - head.bytes_out:
+                    candidates.append(head.available / self.drain_rate)
+
+        # aim half a byte past the watermark so the crossing is strict
+        # (landing exactly on it would reschedule a zero-length step)
+        if net > _EPS and level <= self.stop_threshold + _EPS:
+            candidates.append((self.stop_threshold - level) / net + 0.5)
+        elif net < -_EPS and level >= self.stop_threshold - _EPS:
+            candidates.append((level - self.stop_threshold) / (-net) + 0.5)
+        # capacity crossing: detect overflow when it happens, not later
+        if net > _EPS and level <= self.capacity + _EPS:
+            candidates.append((self.capacity - level) / net + 0.5)
+
+        future = [c for c in candidates if c > _EPS]
+        if not future:
+            return
+        delay_ns = max(1, int(round(min(future) * BYTE_TIME_NS)))
+        self._boundary = self.sim.after(delay_ns, self._on_boundary)
+
+    def _on_boundary(self) -> None:
+        self._boundary = None
+        self._advance()
+        self._recompute()

@@ -1,0 +1,310 @@
+"""The Autonet switch: link units, crossbar, router, control port.
+
+Assembles the hardware of section 5.1: 12 external link units, a 13th
+internal port to the control processor, the forwarding table, and the
+first-come-first-considered scheduling engine.  The control processor
+itself (Autopilot) lives in :mod:`repro.core.autopilot`; the switch
+exposes ``inject_from_cp`` / ``on_cp_packet`` as its port-0 interface.
+
+The prototype's reload-implies-reset coupling (section 7: "the control
+processor [cannot] update the forwarding table without first resetting the
+switch", destroying all packets in the switch) is modeled by
+:meth:`Switch.load_table`, with ``reset_on_load=False`` available as the
+paper's proposed hardware improvement for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.constants import PORTS_PER_SWITCH
+from repro.net.fifo import DiscardSink, DrainTarget, ReceiveFifo
+from repro.net.forwarding import ForwardingEntry, ForwardingTable
+from repro.net.linkunit import LinkUnit
+from repro.net.packet import Packet
+from repro.net.scheduler import Request, SchedulingEngine
+from repro.sim.engine import Simulator
+from repro.types import Uid
+
+
+class CpSink(DrainTarget):
+    """Port 0's delivery side: packets drained here reach the control
+    processor's receive buffers in video RAM (no flow control)."""
+
+    def __init__(self, switch: "Switch") -> None:
+        self.switch = switch
+
+    def drain_allowed(self, broadcast: bool) -> bool:
+        return True
+
+    def notify_begin(self, packet: Packet, broadcast: bool) -> None:
+        pass
+
+    def notify_rate(self, rate: float) -> None:
+        pass
+
+    def notify_end(self, packet: Packet) -> None:
+        self.switch._deliver_to_cp(packet)
+
+
+class Crossbar:
+    """Bookkeeping for the 13x13 crossbar: which input feeds each output."""
+
+    def __init__(self, n_ports: int) -> None:
+        self.n_ports = n_ports
+        self._output_source: Dict[int, int] = {}
+
+    def connect(self, in_port: int, out_ports: Tuple[int, ...]) -> None:
+        for port in out_ports:
+            if port in self._output_source:
+                raise RuntimeError(
+                    f"crossbar output {port} already connected to "
+                    f"input {self._output_source[port]}"
+                )
+            self._output_source[port] = in_port
+
+    def disconnect(self, out_port: int) -> None:
+        self._output_source.pop(out_port, None)
+
+    def source_of(self, out_port: int) -> Optional[int]:
+        return self._output_source.get(out_port)
+
+    def clear(self) -> None:
+        self._output_source.clear()
+
+    def connections(self) -> Dict[int, int]:
+        return dict(self._output_source)
+
+
+class Switch:
+    """One Autonet switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        uid: Uid,
+        n_ports: int = PORTS_PER_SWITCH,
+        fifo_bytes: Optional[int] = None,
+        cut_through_bytes: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.uid = uid
+        self.n_ports = n_ports
+        self.powered = True
+
+        kwargs = {}
+        if fifo_bytes is not None:
+            kwargs["fifo_bytes"] = fifo_bytes
+        if cut_through_bytes is not None:
+            kwargs["cut_through_bytes"] = cut_through_bytes
+        self.ports: Dict[int, LinkUnit] = {
+            p: LinkUnit(
+                sim,
+                name=f"{name}.p{p}",
+                port_no=p,
+                on_head_ready=self._head_ready,
+                on_packet_drained=self._packet_drained,
+                **kwargs,
+            )
+            for p in range(1, n_ports + 1)
+        }
+        for port, unit in self.ports.items():
+            unit.tx.on_end = self._make_tx_end_hook(port)
+            unit.on_panic = self._make_panic_hook(port)
+
+        self.table = ForwardingTable(n_ports)
+        self.crossbar = Crossbar(n_ports)
+        self.engine = SchedulingEngine(sim, n_ports, grant=self._granted)
+        self.discard_sink = DiscardSink()
+
+        # port 0: control-processor injection FIFO and delivery sink
+        self._cp_fifo = ReceiveFifo(
+            sim,
+            name=f"{name}.cp",
+            capacity=1 << 30,
+            on_head_ready=lambda pkt: self._head_ready(0, pkt),
+        )
+        self._cp_sink = CpSink(self)
+        #: Autopilot's receive hook; set by the control program
+        self.on_cp_packet: Optional[Callable[[Packet], None]] = None
+
+        # statistics
+        self.packets_forwarded = 0
+        self.packets_discarded = 0
+        self.packets_to_cp = 0
+        self.resets = 0
+
+    # -- port-0 (control processor) interface ----------------------------------------------
+
+    def inject_from_cp(self, packet: Packet) -> None:
+        """The control processor queues a packet for transmission."""
+        if not self.powered:
+            return
+        self._cp_fifo.begin_packet(packet)
+        entry = self._cp_fifo.queue[-1]
+        entry.bytes_in = float(entry.size)
+        entry.arriving = False
+        self._cp_fifo.recompute()
+
+    def _deliver_to_cp(self, packet: Packet) -> None:
+        self.packets_to_cp += 1
+        self.crossbar.disconnect(0)
+        self.engine.port_freed(0)
+        if self.on_cp_packet is not None and self.powered:
+            self.on_cp_packet(packet)
+
+    # -- routing pipeline --------------------------------------------------------------------
+
+    def _fifo_for(self, in_port: int) -> ReceiveFifo:
+        return self._cp_fifo if in_port == 0 else self.ports[in_port].fifo
+
+    def _head_ready(self, in_port: int, packet: Packet) -> None:
+        """Address bytes captured: look up the table, queue a request."""
+        if not self.powered:
+            return
+        entry = self.table.lookup(in_port, packet.dest_short)
+        if entry.is_discard:
+            self.packets_discarded += 1
+            packet.record_hop(self.name, in_port, ())
+            self._fifo_for(in_port).connect_drain([self.discard_sink], broadcast=False)
+            return
+        self.engine.add_request(Request(in_port, entry, packet))
+
+    def _granted(self, request: Request, ports: Tuple[int, ...]) -> None:
+        fifo = self._fifo_for(request.in_port)
+        targets: List[DrainTarget] = []
+        for port in ports:
+            if port == 0:
+                targets.append(self._cp_sink)
+            else:
+                unit = self.ports[port]
+                targets.append(unit.tx)
+                unit.set_drain_source(fifo)
+        self.crossbar.connect(request.in_port, ports)
+        request.packet.record_hop(self.name, request.in_port, ports)
+        self.packets_forwarded += 1
+        fifo.connect_drain(targets, broadcast=request.entry.broadcast)
+
+    def _packet_drained(self, in_port: int, packet: Packet) -> None:
+        """The head packet has fully left ``in_port``'s FIFO."""
+
+    def _make_panic_hook(self, port: int) -> Callable[[], None]:
+        def hook() -> None:
+            # reset this link unit: clear the FIFO and any held grants,
+            # then reinitialize link control (re-announce flow control)
+            self.isolate_port(port)
+            unit = self.ports[port]
+            if unit.fc_sender is not None:
+                unit.fc_sender.reannounce()
+
+        return hook
+
+    def _make_tx_end_hook(self, port: int) -> Callable[[Packet], None]:
+        def hook(packet: Packet) -> None:
+            self.ports[port].set_drain_source(None)
+            self.crossbar.disconnect(port)
+            self.engine.port_freed(port)
+
+        return hook
+
+    # -- table loading / reset ------------------------------------------------------------------
+
+    def isolate_port(self, in_port: int) -> None:
+        """Take one port out of service (it was classified s.dead).
+
+        Aborts any drain in progress from its FIFO -- releasing the
+        crossbar connections and output ports it held -- drops its pending
+        scheduling request, and clears its FIFO.  Without this, a dead
+        port could wedge the outputs a granted broadcast had captured.
+        """
+        unit = self.ports[in_port]
+        head = unit.fifo.head
+        if head is not None and head.targets:
+            packet = head.packet
+            packet.corrupted = True
+            for out_port, src in list(self.crossbar.connections().items()):
+                if src != in_port:
+                    continue
+                if out_port == 0:
+                    self.crossbar.disconnect(0)
+                    self.engine.port_freed(0)
+                    continue
+                tx = self.ports[out_port].tx
+                if tx.current is packet:
+                    # the truncated packet gets a forced end marker
+                    tx.notify_rate(0.0)
+                    tx.notify_end(packet)  # on_end hook frees the port
+                else:
+                    self.ports[out_port].set_drain_source(None)
+                    self.crossbar.disconnect(out_port)
+                    self.engine.port_freed(out_port)
+        self.engine.remove_requests_from(in_port)
+        unit.reset()
+
+    def reset(self) -> None:
+        """Destroy all packets in the switch (FIFO clears, abort drains)."""
+        self.resets += 1
+        for port, unit in self.ports.items():
+            # abort any in-flight transmission: the truncated packet gets a
+            # forced end marker and arrives corrupted downstream
+            if unit.tx.current is not None:
+                packet = unit.tx.current
+                packet.corrupted = True
+                unit.tx.notify_rate(0.0)
+                unit.tx.notify_end(packet)
+            unit.set_drain_source(None)
+            unit.reset()
+        self._cp_fifo.queue.clear()
+        self._cp_fifo.drain_rate = 0.0
+        self._cp_fifo.recompute()
+        self.crossbar.clear()
+        self.engine.clear()
+        for port in range(self.n_ports + 1):
+            self.engine.port_busy[port] = False
+
+    def clear_table(self, reset_on_load: bool = True) -> None:
+        """Step 1 of reconfiguration: constant (one-hop) entries only."""
+        if reset_on_load:
+            self.reset()
+        self.table.clear_to_constant()
+
+    def load_table(
+        self,
+        entries: Dict[Tuple[int, int], ForwardingEntry],
+        reset_on_load: bool = True,
+    ) -> None:
+        """Load a computed configuration.
+
+        The prototype hardware couples loading with a switch reset that
+        destroys all packets in the switch (section 7); pass
+        ``reset_on_load=False`` to model the proposed improvement.
+        """
+        if reset_on_load:
+            self.reset()
+        self.table.load(entries)
+
+    # -- power -------------------------------------------------------------------------------------
+
+    def power_off(self) -> None:
+        """Crash the switch: stop forwarding, go silent on all links."""
+        self.powered = False
+        self.reset()
+        for unit in self.ports.values():
+            unit.enabled = False
+
+    def power_on(self) -> None:
+        """Boot: ports come back dead (Autopilot re-evaluates them)."""
+        self.powered = True
+        self.table.clear_to_constant()
+        for unit in self.ports.values():
+            unit.enabled = True
+
+    # -- convenience ---------------------------------------------------------------------------------
+
+    def attached_link_ports(self) -> List[int]:
+        return [p for p, unit in self.ports.items() if unit.connected]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Switch {self.name} uid={self.uid}>"

@@ -1,0 +1,409 @@
+"""The top-level facade: build, run, and break an Autonet.
+
+`Network` wires a :class:`~repro.topology.TopologySpec` into simulated
+switches running Autopilot, attaches dual-homed hosts, and offers the
+fault injectors the paper's monitoring machinery exists to survive: cut
+links, intermittent links, reflecting (unterminated) links, switch
+crashes and restarts, and host power-offs.  It also records the
+measurements the benchmark harness reports: per-epoch reconfiguration
+durations (first tree-position packet to last forwarding-table load,
+section 6.6.5) and convergence state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.constants import SEC
+from repro.core.autopilot import Autopilot, AutopilotParams
+from repro.core.topo import TopologyMap
+from repro.host.controller import HostController
+from repro.host.driver import AutonetDriver
+from repro.net.link import Link, LinkState, connect
+from repro.net.switch import Switch
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import MergedLog
+from repro.topology.generators import TopologySpec
+from repro.types import Uid
+
+
+@dataclass
+class EpochRecord:
+    """Measurement of one reconfiguration epoch."""
+
+    epoch: int
+    started_at: int = -1
+    #: switch uid -> time its table was loaded
+    configured: Dict[Uid, int] = field(default_factory=dict)
+
+    def duration(self, population: int) -> Optional[int]:
+        """Start-to-last-table-load, or None if not all switches finished."""
+        if self.started_at < 0 or len(self.configured) < population:
+            return None
+        return max(self.configured.values()) - self.started_at
+
+
+class Network:
+    """A complete simulated Autonet installation."""
+
+    def __init__(
+        self,
+        spec: TopologySpec,
+        params_factory: Optional[Callable[[int], AutopilotParams]] = None,
+        link_km: float = 0.1,
+        seed: int = 0,
+        direction_tagged_links: bool = False,
+        sim: Optional[Simulator] = None,
+        name: str = "",
+    ) -> None:
+        self.spec = spec
+        #: pass a shared simulator to co-simulate several Autonets (for
+        #: Autonet-to-Autonet bridging, section 6.8.2)
+        self.sim = sim if sim is not None else Simulator()
+        self.name = name
+        self.rng = RngRegistry(seed)
+        self.params_factory = params_factory or (lambda _i: AutopilotParams())
+
+        self.switches: List[Switch] = []
+        self.autopilots: List[Autopilot] = []
+        self.links: Dict[Tuple[int, int], Link] = {}
+        self.hosts: Dict[str, HostController] = {}
+        self.drivers: Dict[str, AutonetDriver] = {}
+        self._host_links: Dict[Tuple[str, int], Link] = {}
+        self.merged_log = MergedLog()
+        self.epochs: Dict[int, EpochRecord] = {}
+
+        clock_rng = self.rng.stream("clock-offsets")
+        prefix = f"{self.name}." if self.name else ""
+        for i, uid in enumerate(spec.uids):
+            switch = Switch(self.sim, name=f"{prefix}sw{i}", uid=uid)
+            if direction_tagged_links:
+                # the section 7 proposal: discard reflected packets in the
+                # link unit via direction-tagged start commands
+                for unit in switch.ports.values():
+                    unit.discard_misdirected = True
+            self.switches.append(switch)
+            offset = clock_rng.randrange(0, 50_000_000)  # up to 50 ms skew
+            autopilot = Autopilot(
+                switch, params=self.params_factory(i), clock_offset=offset
+            )
+            autopilot.on_configured_hook = self._make_configured_hook(uid)
+            self.autopilots.append(autopilot)
+            self.merged_log.attach(autopilot.trace)
+            self._install_code_hook(i)
+
+        for a, pa, b, pb in spec.cables:
+            link = connect(
+                self.sim,
+                self.switches[a].ports[pa],
+                self.switches[b].ports[pb],
+                length_km=link_km,
+                name=f"sw{a}.p{pa}--sw{b}.p{pb}",
+            )
+            self.links[(a, pa)] = link
+            self.links[(b, pb)] = link
+
+    # -- measurement hooks ----------------------------------------------------------------
+
+    def _make_configured_hook(self, uid: Uid) -> Callable[[int, TopologyMap], None]:
+        def hook(epoch: int, topology: TopologyMap) -> None:
+            record = self.epochs.setdefault(epoch, EpochRecord(epoch))
+            record.configured[uid] = self.sim.now
+            starts = [
+                ap.engine.epoch_started_at
+                for ap in self.autopilots
+                if ap.engine.epoch == epoch
+            ]
+            if starts:
+                earliest = min(starts)
+                if record.started_at < 0 or earliest < record.started_at:
+                    record.started_at = earliest
+
+        return hook
+
+    # -- hosts -----------------------------------------------------------------------------
+
+    def add_host(
+        self,
+        name: str,
+        attachments: Sequence[Tuple[int, int]],
+        link_km: float = 0.1,
+        with_driver: bool = True,
+    ) -> HostController:
+        """Attach a host to one or two (switch index, port) points."""
+        if not 1 <= len(attachments) <= 2:
+            raise ValueError("a host has one or two network ports")
+        import zlib
+
+        # unique even when several Networks share a simulator
+        uid = Uid(
+            0x800000000000
+            + (zlib.crc32(f"{self.name}/{name}".encode()) << 8)
+            + len(self.hosts)
+        )
+        controller = HostController(self.sim, name=name, uid=uid)
+        for port_index, (sw, port) in enumerate(attachments):
+            link = connect(
+                self.sim,
+                controller.ports[port_index],
+                self.switches[sw].ports[port],
+                length_km=link_km,
+                name=f"{name}.{port_index}--sw{sw}.p{port}",
+            )
+            self._host_links[(name, port_index)] = link
+        self.hosts[name] = controller
+        if with_driver:
+            self.drivers[name] = AutonetDriver(controller)
+        return controller
+
+    # -- execution ---------------------------------------------------------------------------
+
+    def run_for(self, duration_ns: int) -> None:
+        self.sim.run_for(duration_ns)
+
+    def run_until(self, time_ns: int) -> None:
+        self.sim.run(until=time_ns)
+
+    def alive_autopilots(self) -> List[Autopilot]:
+        return [ap for ap in self.autopilots if ap.alive]
+
+    def converged(self) -> bool:
+        """Every live switch configured, and mutual agreement within each
+        partition: the switches named in a topology are exactly the live
+        switches holding that same topology (section 6.6 configures
+        physically separated partitions as disconnected networks)."""
+        live = self.alive_autopilots()
+        if not live:
+            return False
+        if not all(ap.configured and ap.engine.table_loaded for ap in live):
+            return False
+        views: Dict[Uid, frozenset] = {}
+        for ap in live:
+            if ap.engine.topology is None:
+                return False
+            views[ap.uid] = frozenset(ap.engine.topology.switches)
+        live_uids = set(views)
+        for uid, members in views.items():
+            if not members <= live_uids:
+                return False
+            if any(views[other] != members for other in members):
+                return False
+        return True
+
+    def run_until_converged(
+        self,
+        timeout_ns: int = 30 * SEC,
+        settle_ns: int = 500_000_000,
+        step_ns: int = 50_000_000,
+    ) -> bool:
+        """Run until convergence has held for ``settle_ns``, or timeout."""
+        deadline = self.sim.now + timeout_ns
+        stable_since: Optional[int] = None
+        while self.sim.now < deadline:
+            self.sim.run_for(step_ns)
+            if self.converged():
+                if stable_since is None:
+                    stable_since = self.sim.now
+                elif self.sim.now - stable_since >= settle_ns:
+                    return True
+            else:
+                stable_since = None
+        return False
+
+    # -- state queries ------------------------------------------------------------------------
+
+    def current_epoch(self) -> int:
+        return max(ap.epoch for ap in self.alive_autopilots())
+
+    def topology(self) -> Optional[TopologyMap]:
+        for ap in self.alive_autopilots():
+            if ap.configured and ap.engine.topology is not None:
+                return ap.engine.topology
+        return None
+
+    def epoch_duration(self, epoch: Optional[int] = None) -> Optional[int]:
+        """Reconfiguration time of the given (default: current) epoch."""
+        if epoch is None:
+            epoch = self.current_epoch()
+        record = self.epochs.get(epoch)
+        if record is None:
+            return None
+        return record.duration(len(self.alive_autopilots()))
+
+    def short_address_of(self, switch_index: int, port: int = 0) -> Optional[int]:
+        from repro.types import make_short_address
+
+        ap = self.autopilots[switch_index]
+        if not ap.configured:
+            return None
+        return make_short_address(ap.engine.my_number, port)
+
+    # -- fault injection -------------------------------------------------------------------------
+
+    def link_between(self, a: int, b: int) -> Link:
+        """The first cabled link between switch indices ``a`` and ``b``."""
+        for (sw, port), link in self.links.items():
+            if sw != a:
+                continue
+            unit_a = self.switches[a].ports[port]
+            other = link.other(unit_a)
+            if getattr(other, "port_no", None) is not None and other is not unit_a:
+                for pb, unit_b in self.switches[b].ports.items():
+                    if other is unit_b:
+                        return link
+        raise ValueError(f"no link between sw{a} and sw{b}")
+
+    def cut_link(self, a: int, b: int) -> Link:
+        link = self.link_between(a, b)
+        link.set_state(LinkState.CUT)
+        return link
+
+    def restore_link(self, a: int, b: int) -> Link:
+        link = self.link_between(a, b)
+        link.set_state(LinkState.UP)
+        return link
+
+    def make_link_noisy(self, a: int, b: int) -> Link:
+        link = self.link_between(a, b)
+        link.set_state(LinkState.NOISY)
+        return link
+
+    def crash_switch(self, index: int) -> None:
+        self.autopilots[index].halt()
+        self.switches[index].power_off()
+
+    def restart_switch(self, index: int) -> None:
+        """Power a crashed switch back on with a fresh Autopilot."""
+        switch = self.switches[index]
+        switch.power_on()
+        offset = self.rng.stream("clock-offsets").randrange(0, 50_000_000)
+        autopilot = Autopilot(
+            switch, params=self.params_factory(index), clock_offset=offset
+        )
+        autopilot.on_configured_hook = self._make_configured_hook(switch.uid)
+        self.autopilots[index] = autopilot
+        self.merged_log.attach(autopilot.trace)
+        self._install_code_hook(index)
+
+    # -- Autopilot releases (section 5.4 / the section 7 anecdote) -----------------------
+
+    def release_autopilot_version(
+        self,
+        version: int,
+        at_switch: int = 0,
+        propagate_delay_ns: int = 5 * SEC,
+    ) -> None:
+        """Download a new Autopilot release into one switch, as from the
+        programming workstation; it propagates itself from there.
+
+        ``propagate_delay_ns`` is the pacing between a switch booting the
+        new version and offering it to its neighbors -- the knob the
+        paper turned after releases caused "30 or more reconfigurations
+        in quick succession" (section 7).
+        """
+        self._propagate_delay_ns = propagate_delay_ns
+        self._reboot_into(at_switch, version)
+
+    _propagate_delay_ns: int = 5 * SEC
+
+    def _install_code_hook(self, index: int) -> None:
+        self.autopilots[index].on_code_download = (
+            lambda version, i=index: self._reboot_into(i, version)
+        )
+
+    #: time a switch is down while booting a new image (ROM load etc.)
+    _boot_delay_ns: int = 300_000_000
+
+    def _reboot_into(self, index: int, version: int) -> None:
+        """Accept the image, reboot the switch on it, then propagate."""
+        from repro.core.messages import CodeDownloadMsg
+
+        old = self.autopilots[index]
+        if not old.alive or old.software_version >= version:
+            return
+        old.halt()
+        switch = self.switches[index]
+        switch.power_off()
+
+        def boot() -> None:
+            switch.power_on()
+            offset = self.rng.stream("clock-offsets").randrange(0, 50_000_000)
+            autopilot = Autopilot(
+                switch,
+                params=self.params_factory(index),
+                clock_offset=offset,
+                software_version=version,
+            )
+            autopilot.on_configured_hook = self._make_configured_hook(switch.uid)
+            self.autopilots[index] = autopilot
+            self.merged_log.attach(autopilot.trace)
+            self._install_code_hook(index)
+
+            def offer(port: int) -> None:
+                if not autopilot.alive:
+                    return
+                autopilot.send_one_hop(
+                    port,
+                    CodeDownloadMsg(
+                        epoch=autopilot.epoch,
+                        sender_uid=autopilot.uid,
+                        version=version,
+                    ),
+                )
+
+            # offer the image to neighbors one at a time: the pacing knob
+            # of section 7 ("making compatible versions propagate more
+            # slowly") bounds how much of the fabric reboots at once
+            delay = self._propagate_delay_ns
+            nth = 0
+            for port, unit in sorted(switch.ports.items()):
+                if not unit.connected:
+                    continue
+                far = unit.link.other(unit)
+                if getattr(far, "port_no", None) is None:
+                    continue  # host link: hosts don't run Autopilot
+                nth += 1
+                self.sim.after(delay * nth, offer, port)
+
+        self.sim.after(self._boot_delay_ns, boot)
+
+    def rollout_complete(self, version: int) -> bool:
+        return all(
+            ap.software_version >= version for ap in self.alive_autopilots()
+        )
+
+    def power_off_host(self, name: str, reflect: bool = True) -> None:
+        """Host powered down; coax links reflect at the dead controller
+        (the section 7 broadcast-storm precondition)."""
+        controller = self.hosts[name]
+        controller.power_off()
+        for port_index in (0, 1):
+            link = self._host_links.get((name, port_index))
+            if link is None:
+                continue
+            if reflect:
+                endpoint = controller.ports[port_index]
+                state = (
+                    LinkState.REFLECTING_B
+                    if link.b is not endpoint
+                    else LinkState.REFLECTING_A
+                )
+                link.set_state(state)
+            else:
+                link.set_state(LinkState.CUT)
+
+    # -- debugging --------------------------------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [f"Network({self.spec.name}): {len(self.switches)} switches"]
+        for i, ap in enumerate(self.autopilots):
+            topo = ap.engine.topology
+            lines.append(
+                f"  sw{i} uid={ap.uid} epoch={ap.epoch} "
+                f"configured={ap.configured} number={ap.engine.my_number} "
+                f"pos=({ap.engine.position.root}, L{ap.engine.position.level}) "
+                f"sees={len(topo.switches) if topo else 0}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Event loop for the Autonet simulator.
+
+Time is an integer number of nanoseconds.  Events scheduled for the same
+instant run in scheduling order (a monotonically increasing sequence number
+breaks ties), which keeps runs deterministic for a fixed seed.
+
+The loop also supports *idle hooks*: callbacks invoked when the event queue
+drains while the caller expected progress.  The runtime deadlock detector in
+:mod:`repro.analysis.deadlock` uses this to notice packets that are in
+flight with no event that could ever advance them -- exactly the symptom of
+the broadcast deadlock in section 6.6.6 of the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class EventHandle:
+    """Cancellable reference to a scheduled event."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from running.  Safe to call more than once."""
+        self.cancelled = True
+        self.fn = None
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """Deterministic integer-nanosecond discrete-event simulator."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: List[EventHandle] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+        self._idle_hooks: List[Callable[["Simulator"], None]] = []
+        #: number of events dispatched so far (useful for budget guards)
+        self.events_dispatched: int = 0
+
+    # -- scheduling ------------------------------------------------------------
+
+    def at(self, time: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        self._seq += 1
+        handle = EventHandle(int(time), self._seq, fn, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def after(self, delay: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` nanoseconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.at(self.now + int(delay), fn, *args)
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at the current instant, after pending work."""
+        return self.at(self.now, fn, *args)
+
+    # -- idle hooks --------------------------------------------------------------
+
+    def add_idle_hook(self, hook: Callable[["Simulator"], None]) -> None:
+        """Register a callback to run when the event queue drains."""
+        self._idle_hooks.append(hook)
+
+    def remove_idle_hook(self, hook: Callable[["Simulator"], None]) -> None:
+        self._idle_hooks.remove(hook)
+
+    # -- execution ----------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event completes."""
+        self._stopped = True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or stopped.
+
+        Returns the simulation time when the run ended.  When the queue
+        drains before ``until``, idle hooks run once; any events they
+        schedule are then processed, so a hook can restart progress.
+        """
+        if self._running:
+            raise RuntimeError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        dispatched = 0
+        try:
+            while not self._stopped:
+                handle = self._pop_runnable()
+                if handle is None:
+                    if self._fire_idle_hooks():
+                        continue
+                    if until is not None:
+                        self.now = until
+                    break
+                if until is not None and handle.time > until:
+                    heapq.heappush(self._queue, handle)
+                    self.now = until
+                    break
+                self.now = handle.time
+                fn, args = handle.fn, handle.args
+                handle.cancel()
+                fn(*args)
+                self.events_dispatched += 1
+                dispatched += 1
+                if max_events is not None and dispatched >= max_events:
+                    break
+        finally:
+            self._running = False
+        return self.now
+
+    def run_for(self, duration: int) -> int:
+        """Run for ``duration`` nanoseconds of simulated time."""
+        return self.run(until=self.now + duration)
+
+    def _pop_runnable(self) -> Optional[EventHandle]:
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if not handle.cancelled:
+                return handle
+        return None
+
+    def _fire_idle_hooks(self) -> bool:
+        """Run idle hooks; report whether any new events became runnable."""
+        if not self._idle_hooks:
+            return False
+        for hook in list(self._idle_hooks):
+            hook(self)
+        return any(not handle.cancelled for handle in self._queue)
+
+    # -- introspection --------------------------------------------------------------
+
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events in the queue."""
+        return sum(1 for handle in self._queue if not handle.cancelled)
+
+    def next_event_time(self) -> Optional[int]:
+        for handle in sorted(self._queue):
+            if not handle.cancelled:
+                return handle.time
+        return None

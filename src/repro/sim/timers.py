@@ -1,0 +1,119 @@
+"""Timer helpers and the Autopilot-style non-preemptive task scheduler.
+
+The paper (section 5.4) describes Autopilot as interrupt routines plus
+process-level tasks run to completion by a non-preemptive scheduler with a
+timer queue whose resolution is 1.2 ms, driven by a 328 us timer interrupt.
+:class:`TaskScheduler` models that structure: tasks scheduled for a timeout
+actually run at the next timeout-resolution boundary at or after their due
+time, and each task charges a configurable CPU cost that delays every later
+task on the same processor.  That serialization is what makes a busy
+control processor slow down reconfiguration, which E1 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.constants import TIMEOUT_RESOLUTION_NS
+from repro.sim.engine import EventHandle, Simulator
+
+
+class Periodic:
+    """Run a callback every ``period`` ns until cancelled."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: int,
+        fn: Callable[[], Any],
+        start_after: Optional[int] = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive: {period}")
+        self._sim = sim
+        self.period = period
+        self._fn = fn
+        self._handle: Optional[EventHandle] = None
+        self._cancelled = False
+        delay = period if start_after is None else start_after
+        self._handle = sim.after(delay, self._tick)
+
+    def _tick(self) -> None:
+        if self._cancelled:
+            return
+        self._handle = self._sim.after(self.period, self._tick)
+        self._fn()
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def active(self) -> bool:
+        return not self._cancelled
+
+
+class TaskScheduler:
+    """Non-preemptive run-to-completion task scheduler for one processor.
+
+    Tasks are procedure calls; at most one runs at a time.  A task that
+    becomes runnable while another runs starts when the processor frees.
+    ``resolution`` quantizes timer wakeups the way Autopilot's 1.2 ms timer
+    queue does.
+    """
+
+    def __init__(self, sim: Simulator, resolution: int = TIMEOUT_RESOLUTION_NS) -> None:
+        self.sim = sim
+        self.resolution = resolution
+        #: simulated time at which the processor next becomes free
+        self._busy_until: int = 0
+        #: total CPU time consumed (for utilization metrics)
+        self.cpu_time_used: int = 0
+
+    def _quantize(self, time: int) -> int:
+        if self.resolution <= 1:
+            return time
+        remainder = time % self.resolution
+        return time if remainder == 0 else time + (self.resolution - remainder)
+
+    def run_after(
+        self,
+        delay: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        cost: int = 0,
+    ) -> EventHandle:
+        """Run ``fn`` after ``delay``, quantized to the timer resolution.
+
+        ``cost`` is the CPU time the task consumes; later tasks queue
+        behind it.
+        """
+        due = self._quantize(self.sim.now + delay)
+        return self.sim.at(due, self._start_task, fn, args, cost)
+
+    def run_soon(self, fn: Callable[..., Any], *args: Any, cost: int = 0) -> EventHandle:
+        """Run ``fn`` as soon as the processor is free (no quantization)."""
+        return self.sim.call_soon(self._start_task, fn, args, cost)
+
+    def every(self, period: int, fn: Callable[[], Any], cost: int = 0) -> Periodic:
+        """Run ``fn`` periodically, charging ``cost`` CPU per invocation."""
+        return Periodic(self.sim, period, lambda: self._start_task(fn, (), cost))
+
+    def _start_task(self, fn: Callable[..., Any], args: tuple, cost: int) -> None:
+        if self.sim.now < self._busy_until:
+            # processor busy: defer until it frees
+            self.sim.at(self._busy_until, self._start_task, fn, args, cost)
+            return
+        if cost > 0:
+            self._busy_until = self.sim.now + cost
+            self.cpu_time_used += cost
+            # model run-to-completion: effects land when the task finishes
+            self.sim.at(self._busy_until, fn, *args)
+        else:
+            fn(*args)
+
+    @property
+    def busy(self) -> bool:
+        return self.sim.now < self._busy_until

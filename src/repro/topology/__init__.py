@@ -1,0 +1,31 @@
+"""Topology generators: tori, meshes, trees, rings, random graphs, and the
+SRC service LAN of section 5.5."""
+
+from repro.topology.generators import (
+    TopologySpec,
+    expected_tree,
+    line,
+    mesh,
+    random_regular,
+    ring,
+    torus,
+    tree,
+    from_edges,
+)
+from repro.topology.planner import InstallationPlan, plan_installation
+from repro.topology.src_lan import src_service_lan
+
+__all__ = [
+    "InstallationPlan",
+    "plan_installation",
+    "TopologySpec",
+    "expected_tree",
+    "line",
+    "mesh",
+    "random_regular",
+    "ring",
+    "torus",
+    "tree",
+    "from_edges",
+    "src_service_lan",
+]

@@ -1,0 +1,244 @@
+"""Switch-graph generators.
+
+A :class:`TopologySpec` is the *installation*: switches with UIDs and the
+cables between specific ports.  It is what the Network facade wires up,
+and what pure-routing tests convert straight into a
+:class:`~repro.core.topo.TopologyMap` via :func:`expected_tree` (the tree
+the distributed algorithm provably converges to: rooted at the smallest
+UID, minimum-level, ties by parent UID then port number).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.constants import PORTS_PER_SWITCH
+from repro.core.topo import NetLink, PortRef, SwitchRecord, TopologyMap
+from repro.types import Uid
+
+
+@dataclass
+class TopologySpec:
+    """An installation: ``n`` switches and the cables between their ports."""
+
+    uids: List[Uid]
+    #: (switch index a, port at a, switch index b, port at b)
+    cables: List[Tuple[int, int, int, int]] = field(default_factory=list)
+    name: str = "topology"
+
+    @property
+    def n_switches(self) -> int:
+        return len(self.uids)
+
+    def degree(self, index: int) -> int:
+        return sum(
+            1 for a, _pa, b, _pb in self.cables if a == index or b == index
+        ) + sum(1 for a, _pa, b, _pb in self.cables if a == index and b == index)
+
+    def used_ports(self, index: int) -> List[int]:
+        ports = []
+        for a, pa, b, pb in self.cables:
+            if a == index:
+                ports.append(pa)
+            if b == index:
+                ports.append(pb)
+        return sorted(ports)
+
+    def free_ports(self, index: int, n_ports: int = PORTS_PER_SWITCH) -> List[int]:
+        used = set(self.used_ports(index))
+        return [p for p in range(1, n_ports + 1) if p not in used]
+
+
+class _PortAllocator:
+    """Hands out switch ports 1..12 in order as cables are added."""
+
+    def __init__(self, n_switches: int, n_ports: int = PORTS_PER_SWITCH) -> None:
+        self._next = [1] * n_switches
+        self._limit = n_ports
+
+    def take(self, index: int) -> int:
+        port = self._next[index]
+        if port > self._limit:
+            raise ValueError(f"switch {index} is out of ports")
+        self._next[index] = port + 1
+        return port
+
+
+def _default_uids(n: int, base: int = 0x1000) -> List[Uid]:
+    return [Uid(base + i) for i in range(n)]
+
+
+def from_edges(
+    edges: Sequence[Tuple[int, int]],
+    n: Optional[int] = None,
+    uids: Optional[List[Uid]] = None,
+    name: str = "custom",
+) -> TopologySpec:
+    """Build a spec from an (a, b) switch-index edge list."""
+    if n is None:
+        n = max(max(a, b) for a, b in edges) + 1 if edges else 1
+    spec = TopologySpec(uids=uids or _default_uids(n), name=name)
+    alloc = _PortAllocator(n)
+    for a, b in edges:
+        spec.cables.append((a, alloc.take(a), b, alloc.take(b)))
+    return spec
+
+
+def line(n: int, uids: Optional[List[Uid]] = None) -> TopologySpec:
+    return from_edges([(i, i + 1) for i in range(n - 1)], n=n, uids=uids, name=f"line-{n}")
+
+
+def ring(n: int, uids: Optional[List[Uid]] = None) -> TopologySpec:
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return from_edges(edges, n=n, uids=uids, name=f"ring-{n}")
+
+
+def tree(depth: int, fanout: int = 2, uids: Optional[List[Uid]] = None) -> TopologySpec:
+    """A complete tree with the given depth and fanout."""
+    edges = []
+    nodes = 1
+    level_start = 0
+    for _level in range(depth):
+        next_start = nodes
+        for parent in range(level_start, nodes):
+            for _child in range(fanout):
+                edges.append((parent, nodes))
+                nodes += 1
+        level_start = next_start
+    return from_edges(edges, n=nodes, uids=uids, name=f"tree-d{depth}f{fanout}")
+
+
+def mesh(rows: int, cols: int, uids: Optional[List[Uid]] = None) -> TopologySpec:
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            if c + 1 < cols:
+                edges.append((i, i + 1))
+            if r + 1 < rows:
+                edges.append((i, i + cols))
+    return from_edges(edges, n=rows * cols, uids=uids, name=f"mesh-{rows}x{cols}")
+
+
+def torus(rows: int, cols: int, uids: Optional[List[Uid]] = None) -> TopologySpec:
+    """The paper's service-network shape: an approximate rows x cols torus."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            right = r * cols + (c + 1) % cols
+            down = ((r + 1) % rows) * cols + c
+            if cols > 2 or c + 1 < cols:
+                edges.append((i, right))
+            if rows > 2 or r + 1 < rows:
+                edges.append((i, down))
+    # dedupe (wrap edges of 2-wide tori appear twice)
+    seen = set()
+    unique = []
+    for a, b in edges:
+        key = (min(a, b), max(a, b), len([e for e in unique if set(e) == {a, b}]))
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append((a, b))
+    return from_edges(unique, n=rows * cols, uids=uids, name=f"torus-{rows}x{cols}")
+
+
+def random_regular(
+    n: int,
+    degree: int = 3,
+    seed: int = 0,
+    uids: Optional[List[Uid]] = None,
+) -> TopologySpec:
+    """A random connected graph with maximum degree ``degree``.
+
+    Built as a random spanning tree plus random extra edges, which models
+    organically grown installations better than a strict regular graph.
+    """
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    edges = []
+    deg = [0] * n
+    for i in range(1, n):
+        candidates = [j for j in order[:i] if deg[order[i]] < degree and deg[j] < degree]
+        if not candidates:
+            candidates = order[:i]
+        parent = rng.choice(candidates)
+        edges.append((parent, order[i]))
+        deg[parent] += 1
+        deg[order[i]] += 1
+    extra = n * max(0, degree - 2) // 2
+    attempts = 0
+    while extra > 0 and attempts < 20 * n:
+        attempts += 1
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a == b or deg[a] >= degree or deg[b] >= degree:
+            continue
+        if (a, b) in edges or (b, a) in edges:
+            continue
+        edges.append((a, b))
+        deg[a] += 1
+        deg[b] += 1
+        extra -= 1
+    return from_edges(edges, n=n, uids=uids, name=f"random-{n}d{degree}s{seed}")
+
+
+def expected_tree(spec: TopologySpec, host_ports: Optional[Dict[int, List[int]]] = None) -> TopologyMap:
+    """The spanning tree the distributed algorithm converges to.
+
+    Root is the smallest UID; every switch takes the position minimizing
+    (root, level, parent UID, port to parent) -- the comparison rule of
+    section 6.6.1.  Used as the oracle for protocol tests and as a direct
+    input for pure routing experiments.
+    """
+    n = spec.n_switches
+    adjacency: Dict[int, List[Tuple[int, int, int]]] = {i: [] for i in range(n)}
+    links = set()
+    for a, pa, b, pb in spec.cables:
+        if a == b:
+            continue  # looped links are omitted from the configuration
+        adjacency[a].append((b, pa, pb))
+        adjacency[b].append((a, pb, pa))
+        links.add(NetLink(PortRef(spec.uids[a], pa), PortRef(spec.uids[b], pb)))
+
+    root_index = min(range(n), key=lambda i: spec.uids[i])
+    levels = {root_index: 0}
+    frontier = [root_index]
+    while frontier:
+        nxt = []
+        for i in frontier:
+            for j, _pi, _pj in adjacency[i]:
+                if j not in levels:
+                    levels[j] = levels[i] + 1
+                    nxt.append(j)
+        frontier = nxt
+    if len(levels) != n:
+        raise ValueError("topology is not connected")
+
+    switches: Dict[Uid, SwitchRecord] = {}
+    hosts = host_ports or {}
+    for i in range(n):
+        if i == root_index:
+            parent_uid, parent_port = None, None
+        else:
+            # best parent: minimal (parent uid, my port) among level-1 neighbors
+            options = [
+                (spec.uids[j], pi)
+                for j, pi, _pj in adjacency[i]
+                if levels[j] == levels[i] - 1
+            ]
+            parent_uid, parent_port = min(options)
+        switches[spec.uids[i]] = SwitchRecord(
+            uid=spec.uids[i],
+            level=levels[i],
+            parent_port=parent_port,
+            parent_uid=parent_uid,
+            host_ports=frozenset(hosts.get(i, [])),
+            proposed_number=i + 1,
+        )
+    topology = TopologyMap(root=spec.uids[root_index], switches=switches, links=links)
+    topology.numbers = {spec.uids[i]: i + 1 for i in range(n)}
+    return topology

@@ -1,0 +1,51 @@
+"""The SRC service LAN of section 5.5.
+
+Thirty switches arranged as an approximate 4 x 8 torus (two cells short of
+a full 32), four of the twelve ports on each switch used for switch links
+and eight for hosts, giving capacity for 120 dual-homed host connections.
+The maximum switch-to-switch distance is six links (section 6.6.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.topology.generators import TopologySpec, from_edges
+from repro.types import Uid
+
+
+def src_service_lan(uids: Optional[List[Uid]] = None) -> TopologySpec:
+    """The 30-switch approximate 4x8 torus of the paper."""
+    rows, cols = 4, 8
+    present = [(r, c) for r in range(rows) for c in range(cols)]
+    # drop two cells to make it an *approximate* torus of 30 switches
+    removed = {(3, 6), (3, 7)}
+    present = [cell for cell in present if cell not in removed]
+    index: Dict[Tuple[int, int], int] = {cell: i for i, cell in enumerate(present)}
+
+    def neighbor(r: int, c: int, dr: int, dc: int) -> Optional[int]:
+        cell = ((r + dr) % rows, (c + dc) % cols)
+        if cell in index:
+            return index[cell]
+        # wrap again past removed cells along the same axis
+        cell = ((r + 2 * dr) % rows, (c + 2 * dc) % cols)
+        return index.get(cell)
+
+    edges = set()
+    for (r, c), i in index.items():
+        for dr, dc in ((0, 1), (1, 0)):
+            j = neighbor(r, c, dr, dc)
+            if j is not None and j != i:
+                edges.add((min(i, j), max(i, j)))
+
+    spec = from_edges(sorted(edges), n=len(present), uids=uids, name="src-lan-30")
+    return spec
+
+
+def src_host_ports(spec: TopologySpec, hosts_per_switch: int = 8) -> Dict[int, List[int]]:
+    """Eight host ports per switch (the ports not used for switch links)."""
+    result: Dict[int, List[int]] = {}
+    for i in range(spec.n_switches):
+        free = spec.free_ports(i)
+        result[i] = free[:hosts_per_switch]
+    return result

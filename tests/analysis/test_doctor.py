@@ -1,0 +1,71 @@
+"""The network-doctor management tool."""
+
+import pytest
+
+from repro.analysis.doctor import diagnose
+from repro.constants import SEC
+from repro.network import Network
+from repro.topology import ring, torus
+from repro.topology.generators import TopologySpec
+from repro.types import Uid
+
+
+def test_healthy_network_reports_healthy():
+    net = Network(torus(2, 3))
+    assert net.run_until_converged(timeout_ns=60 * SEC)
+    net.run_for(2 * SEC)
+    report = diagnose(net)
+    assert report.healthy, report.render()
+    assert report.switches_seen == 6
+    assert report.epoch == net.current_epoch()
+
+
+def test_dead_port_reported():
+    net = Network(ring(4))
+    assert net.run_until_converged(timeout_ns=60 * SEC)
+    net.cut_link(0, 1)
+    assert net.run_until_converged(timeout_ns=60 * SEC)
+    report = diagnose(net)
+    dead = [f for f in report.findings if "port dead" in f.what]
+    assert len(dead) >= 2  # both ends of the cut cable
+
+
+def test_looped_cable_reported():
+    spec = TopologySpec(uids=[Uid(0x1000), Uid(0x1001)], name="loopy")
+    spec.cables = [(0, 1, 1, 1), (0, 2, 0, 3)]  # one real link + a loop
+    net = Network(spec)
+    net.run_for(20 * SEC)
+    report = diagnose(net)
+    loops = [f for f in report.findings if "loop" in f.what]
+    assert len(loops) >= 1
+
+
+def test_elevated_skeptic_reported():
+    net = Network(ring(4))
+    assert net.run_until_converged(timeout_ns=60 * SEC)
+    for _ in range(3):
+        net.cut_link(0, 1)
+        net.run_for(2 * SEC)
+        net.restore_link(0, 1)
+        net.run_for(4 * SEC)
+    report = diagnose(net)
+    elevated = [f for f in report.findings if "skeptic elevated" in f.what]
+    assert elevated, report.render()
+
+
+def test_mid_reconfiguration_reported_critical():
+    net = Network(ring(4))
+    assert net.run_until_converged(timeout_ns=60 * SEC)
+    net.autopilots[0].trigger_reconfiguration("doctor-test")
+    # diagnose immediately, before the epoch completes
+    report = diagnose(net)
+    assert not report.healthy
+    assert any("not configured" in f.what for f in report.criticals())
+
+
+def test_render_is_readable():
+    net = Network(ring(3))
+    assert net.run_until_converged(timeout_ns=60 * SEC)
+    text = diagnose(net).render()
+    assert "health report" in text
+    assert "3 switches" in text

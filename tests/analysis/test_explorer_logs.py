@@ -1,0 +1,87 @@
+"""SRP topology recovery and the merged-log timeline tools (section 6.7)."""
+
+import pytest
+
+from repro.analysis.explorer import NetworkExplorer
+from repro.analysis.logs import epochs_seen, reconfiguration_timeline
+from repro.constants import SEC
+from repro.network import Network
+from repro.topology import ring, torus
+
+
+@pytest.fixture(scope="module")
+def converged_torus():
+    net = Network(torus(3, 3))
+    assert net.run_until_converged(timeout_ns=60 * SEC)
+    net.run_for(2 * SEC)
+    return net
+
+
+class TestExplorer:
+    def test_recovers_all_switches(self, converged_torus):
+        net = converged_torus
+        result = NetworkExplorer(net, origin=0).explore()
+        assert set(result.topology.switches) == {s.uid for s in net.switches}
+
+    def test_recovers_all_links(self, converged_torus):
+        net = converged_torus
+        result = NetworkExplorer(net, origin=0).explore()
+        assert result.topology.links == net.topology().links
+
+    def test_recovers_spanning_tree(self, converged_torus):
+        net = converged_torus
+        result = NetworkExplorer(net, origin=0).explore()
+        actual = net.topology()
+        assert result.topology.root == actual.root
+        for uid, record in result.topology.switches.items():
+            assert record.parent_uid == actual.switches[uid].parent_uid
+
+    def test_recovers_numbering(self, converged_torus):
+        net = converged_torus
+        result = NetworkExplorer(net, origin=0).explore()
+        assert result.topology.numbers == net.topology().numbers
+
+    def test_routes_are_walkable(self, converged_torus):
+        net = converged_torus
+        result = NetworkExplorer(net, origin=0).explore()
+        # every discovered route starts at the origin and has finite length
+        assert result.routes[net.switches[0].uid] == ()
+        assert all(len(r) <= 8 for r in result.routes.values())
+        assert result.queries >= len(net.switches)
+
+
+class TestTimeline:
+    def test_timeline_phases(self):
+        net = Network(ring(4))
+        assert net.run_until_converged(timeout_ns=60 * SEC)
+        net.run_for(2 * SEC)
+        net.cut_link(0, 1)
+        assert net.run_until_converged(timeout_ns=60 * SEC)
+        epoch = net.current_epoch()
+        timeline = reconfiguration_timeline(net.merged_log, epoch)
+        phases = timeline.phase_durations()
+        assert phases["total"] is not None and phases["total"] > 0
+        assert phases["tree_and_reports"] is not None
+        assert phases["distribute_and_load"] is not None
+        assert (
+            phases["tree_and_reports"] + phases["distribute_and_load"]
+            == phases["total"]
+        )
+
+    def test_epochs_seen_lists_all(self):
+        net = Network(ring(3))
+        assert net.run_until_converged(timeout_ns=60 * SEC)
+        net.cut_link(0, 1)
+        assert net.run_until_converged(timeout_ns=60 * SEC)
+        seen = epochs_seen(net.merged_log)
+        assert net.current_epoch() in seen
+        assert len(seen) >= 2
+
+    def test_termination_recorded_once_per_epoch(self):
+        """The root's unstable->stable transition happens exactly once."""
+        net = Network(ring(4))
+        assert net.run_until_converged(timeout_ns=60 * SEC)
+        epoch = net.current_epoch()
+        timeline = reconfiguration_timeline(net.merged_log, epoch)
+        terminations = [e for e in timeline.entries if e.event == "termination"]
+        assert len(terminations) == 1

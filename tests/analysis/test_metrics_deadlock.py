@@ -1,0 +1,67 @@
+"""Metrics helpers and the runtime deadlock detector."""
+
+import pytest
+
+from repro.analysis.deadlock import ProgressMonitor
+from repro.analysis.metrics import (
+    format_table,
+    mean,
+    mbits,
+    percentile,
+    rate_mbps,
+    stddev,
+)
+from repro.sim.engine import Simulator
+
+
+class TestMetrics:
+    def test_mean_and_empty(self):
+        assert mean([1, 2, 3]) == 2
+        assert mean([]) == 0.0
+
+    def test_percentile_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+        assert percentile([], 50) == 0.0
+
+    def test_stddev(self):
+        assert stddev([2, 2, 2]) == 0.0
+        assert stddev([1]) == 0.0
+        assert stddev([1, 3]) == pytest.approx(1.414, abs=0.01)
+
+    def test_rate_mbps(self):
+        # 12.5 MB over one second is 100 Mbit/s
+        assert rate_mbps(12_500_000, 1_000_000_000) == pytest.approx(100.0)
+        assert rate_mbps(1, 0) == 0.0
+
+    def test_mbits(self):
+        assert mbits(1_000_000) == 8.0
+
+    def test_format_table_aligns(self):
+        text = format_table(["col", "x"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].index("x") == lines[2].index("1")
+
+
+class TestProgressMonitor:
+    def test_detects_stranded_packets(self):
+        sim = Simulator()
+        monitor = ProgressMonitor()
+        monitor.install(sim)
+        monitor.injected(1)
+        sim.at(100, lambda: None)
+        sim.run(until=10_000)
+        assert monitor.deadlocked
+        assert monitor.deadlocked_at == 100
+
+    def test_quiet_when_all_delivered(self):
+        sim = Simulator()
+        monitor = ProgressMonitor()
+        monitor.install(sim)
+        monitor.injected(1)
+        sim.at(100, lambda: monitor.finished(1))
+        sim.run(until=10_000)
+        assert not monitor.deadlocked

@@ -1,0 +1,161 @@
+"""Baseline networks: Ethernet, token ring, and the routing ablations."""
+
+import pytest
+
+from repro.analysis.deadlock import has_deadlock_potential
+from repro.analysis.invariants import all_pairs_reachable, links_used
+from repro.baselines.ethernet import ETHERNET_BROADCAST, Ethernet
+from repro.baselines.routing_ablation import (
+    build_shortest_path_entries,
+    tree_only_topology,
+)
+from repro.baselines.token_ring import RING_BROADCAST, TokenRing
+from repro.constants import MS, SEC
+from repro.core.routing import build_forwarding_entries
+from repro.sim.engine import Simulator
+from repro.topology import expected_tree, ring, torus
+from repro.types import Uid
+
+
+class TestEthernet:
+    def test_unicast_delivery(self):
+        sim = Simulator()
+        ether = Ethernet(sim)
+        a = ether.attach(Uid(1))
+        b = ether.attach(Uid(2))
+        got = []
+        b.on_receive = lambda src, dst, size, payload: got.append((src, size))
+        a.send(Uid(2), 1000)
+        sim.run(until=10 * MS)
+        assert got == [(Uid(1), 1000)]
+
+    def test_broadcast_reaches_all_but_sender(self):
+        sim = Simulator()
+        ether = Ethernet(sim)
+        stations = [ether.attach(Uid(i)) for i in range(1, 5)]
+        got = []
+        for s in stations:
+            s.on_receive = lambda src, dst, size, payload, s=s: got.append(s.uid)
+        stations[0].send(ETHERNET_BROADCAST, 100)
+        sim.run(until=10 * MS)
+        assert sorted(got) == [Uid(2), Uid(3), Uid(4)]
+
+    def test_aggregate_capped_at_link_bandwidth(self):
+        """The motivating bottleneck: total throughput <= 10 Mbit/s."""
+        sim = Simulator()
+        ether = Ethernet(sim, max_queue=10_000)
+        a, b = ether.attach(Uid(1)), ether.attach(Uid(2))
+        c, d = ether.attach(Uid(3)), ether.attach(Uid(4))
+        for _ in range(2000):
+            a.send(Uid(2), 1400)
+            c.send(Uid(4), 1400)
+        sim.run(until=1 * SEC)
+        mbps = ether.bytes_carried * 8 / 1e9 * 1e3  # bits per ns -> Mbit/s
+        assert mbps <= 10.0
+        assert mbps > 8.0  # efficiently utilized, just bounded
+
+    def test_frame_size_limit(self):
+        sim = Simulator()
+        ether = Ethernet(sim)
+        a = ether.attach(Uid(1))
+        with pytest.raises(ValueError):
+            a.send(Uid(2), 3000)
+
+
+class TestTokenRing:
+    def test_delivery(self):
+        sim = Simulator()
+        ring_net = TokenRing(sim, 8)
+        got = []
+        ring_net.stations[3].on_receive = lambda src, dst, size, p: got.append(size)
+        ring_net.stations[0].send(ring_net.stations[3].uid, 900)
+        sim.run(until=50 * MS)
+        assert got == [900]
+
+    def test_latency_grows_with_ring_size(self):
+        """Section 3.2: a ring has latency proportional to the number of
+        hosts."""
+
+        def mean_latency(n):
+            sim = Simulator()
+            ring_net = TokenRing(sim, n)
+            for i in range(n):
+                ring_net.stations[i].send(
+                    ring_net.stations[(i + n // 2) % n].uid, 500
+                )
+            sim.run(until=100 * MS)
+            return ring_net.mean_latency_ns()
+
+        assert mean_latency(64) > 2.5 * mean_latency(16)
+
+    def test_aggregate_capped_at_link_bandwidth(self):
+        sim = Simulator()
+        ring_net = TokenRing(sim, 16, max_queue=100_000)
+        for station in ring_net.stations:
+            partner = ring_net.stations[(station.index + 8) % 16]
+            for _ in range(400):
+                station.send(partner.uid, 1400)
+        sim.run(until=100 * MS)
+        mbps = ring_net.bytes_carried * 8 / (100 * MS) * 1e3
+        assert mbps <= 100.0
+
+    def test_broadcast(self):
+        sim = Simulator()
+        ring_net = TokenRing(sim, 4)
+        got = []
+        for s in ring_net.stations[1:]:
+            s.on_receive = lambda src, dst, size, p, s=s: got.append(s.index)
+        ring_net.stations[0].send(RING_BROADCAST, 200)
+        sim.run(until=50 * MS)
+        assert sorted(got) == [1, 2, 3]
+
+
+class TestRoutingAblation:
+    def test_tree_only_topology_has_n_minus_1_links(self):
+        topo = expected_tree(torus(3, 4))
+        tree = tree_only_topology(topo)
+        assert len(tree.links) == len(topo.switches) - 1
+        assert tree.links < topo.links
+
+    def test_tree_only_routing_reachable_and_deadlock_free(self):
+        topo = expected_tree(torus(3, 4))
+        tree = tree_only_topology(topo)
+        entries = {uid: build_forwarding_entries(tree, uid) for uid in tree.switches}
+        assert all(all_pairs_reachable(tree, entries).values())
+        assert not has_deadlock_potential(tree, entries)
+
+    def test_tree_only_wastes_cross_links(self):
+        """Tree routing leaves every non-tree link idle (E11's point)."""
+        topo = expected_tree(torus(3, 4))
+        tree = tree_only_topology(topo)
+        entries = {uid: build_forwarding_entries(tree, uid) for uid in tree.switches}
+        used = links_used(topo, entries)
+        assert used == tree.links
+        assert len(used) < len(topo.links)
+
+    def test_shortest_path_reaches_everything(self):
+        topo = expected_tree(torus(3, 4))
+        entries = {
+            uid: build_shortest_path_entries(topo, uid) for uid in topo.switches
+        }
+        assert all(all_pairs_reachable(topo, entries).values())
+
+    def test_shortest_path_admits_deadlock_on_ring(self):
+        """Unrestricted minimum-hop routing has dependency cycles on any
+        cycle-containing topology (section 3.6)."""
+        for spec in (ring(6), torus(3, 4)):
+            topo = expected_tree(spec)
+            entries = {
+                uid: build_shortest_path_entries(topo, uid) for uid in topo.switches
+            }
+            assert has_deadlock_potential(topo, entries)
+
+    def test_updown_free_where_shortest_path_is_not(self):
+        spec = torus(3, 4)
+        topo = expected_tree(spec)
+        updown = {uid: build_forwarding_entries(topo, uid) for uid in topo.switches}
+        shortest = {
+            uid: build_shortest_path_entries(topo, uid) for uid in topo.switches
+        }
+        assert not has_deadlock_potential(topo, updown)
+        assert has_deadlock_potential(topo, shortest)

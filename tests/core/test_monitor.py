@@ -1,0 +1,128 @@
+"""Port-state monitoring on live networks: classification fingerprints
+(sections 6.5.2-6.5.4)."""
+
+import pytest
+
+from repro.constants import SEC
+from repro.core.portstate import PortState
+from repro.net.link import LinkState, connect
+from repro.network import Network
+from repro.topology import line
+from repro.topology.generators import TopologySpec
+from repro.types import Uid
+
+
+def states(net, sw):
+    return {p: net.autopilots[sw].monitoring.state_of(p) for p in range(1, 13)}
+
+
+def test_switch_links_become_good():
+    net = Network(line(2))
+    net.run_for(10 * SEC)
+    cabled = net.spec.cables[0]
+    assert net.autopilots[0].monitoring.state_of(cabled[1]) is PortState.SWITCH_GOOD
+    assert net.autopilots[1].monitoring.state_of(cabled[3]) is PortState.SWITCH_GOOD
+
+
+def test_unconnected_ports_stay_dead():
+    net = Network(line(2))
+    net.run_for(10 * SEC)
+    for p, state in states(net, 0).items():
+        if p != net.spec.cables[0][1]:
+            assert state is PortState.DEAD
+
+
+def test_active_host_port_classified_host():
+    net = Network(line(2))
+    net.add_host("h", [(0, 5), (1, 5)])
+    net.run_for(10 * SEC)
+    assert net.autopilots[0].monitoring.state_of(5) is PortState.HOST
+
+
+def test_alternate_host_port_classified_host():
+    """The sync-only alternate port shows constant BadSyntax and nothing
+    else: classified s.host (section 6.5.3)."""
+    net = Network(line(2))
+    net.add_host("h", [(0, 5), (1, 5)])
+    net.run_for(10 * SEC)
+    assert net.autopilots[1].monitoring.state_of(5) is PortState.HOST
+
+
+def test_looped_link_classified_loop():
+    """A port cabled to another port on the same switch echoes the
+    switch's own UID in connectivity replies: s.switch.loop."""
+    spec = TopologySpec(uids=[Uid(0x1000)], name="loop")
+    spec.cables = [(0, 1, 0, 2)]
+    net = Network(spec)
+    net.run_for(15 * SEC)
+    assert net.autopilots[0].monitoring.state_of(1) is PortState.SWITCH_LOOP
+    assert net.autopilots[0].monitoring.state_of(2) is PortState.SWITCH_LOOP
+
+
+def test_reflecting_link_classified_loop():
+    """An unterminated coax reflects the port's own signal: the port hears
+    its own UID and is relegated to s.switch.loop."""
+    net = Network(line(2))
+    net.run_for(10 * SEC)
+    a, pa, b, pb = net.spec.cables[0]
+    link = net.links[(a, pa)]
+    # make the link reflect at sw0's side (sw1 unplugged/powered off)
+    endpoint = net.switches[a].ports[pa]
+    state = LinkState.REFLECTING_A if link.a is endpoint else LinkState.REFLECTING_B
+    link.set_state(state)
+    net.run_for(20 * SEC)
+    assert net.autopilots[a].monitoring.state_of(pa) in (
+        PortState.SWITCH_LOOP,
+        PortState.SWITCH_WHO,
+    )
+    assert net.autopilots[a].monitoring.state_of(pa) is not PortState.SWITCH_GOOD
+
+
+def test_cut_link_goes_dead_and_triggers_reconfig():
+    net = Network(line(3))
+    assert net.run_until_converged(timeout_ns=30 * SEC)
+    epoch = net.current_epoch()
+    a, pa, b, pb = net.spec.cables[0]
+    net.cut_link(0, 1)
+    net.run_for(5 * SEC)
+    assert net.autopilots[a].monitoring.state_of(pa) is PortState.DEAD
+    assert net.autopilots[b].monitoring.state_of(pb) is PortState.DEAD
+    assert net.current_epoch() > epoch
+
+
+def test_restored_link_rejoins():
+    net = Network(line(3))
+    assert net.run_until_converged(timeout_ns=30 * SEC)
+    net.cut_link(1, 2)
+    assert net.run_until_converged(timeout_ns=30 * SEC)
+    assert len(net.topology().switches) < 3 or len(net.topology().links) == 1
+    net.restore_link(1, 2)
+    # healing takes skeptic hold + probe streak; give it a fixed window
+    net.run_for(20 * SEC)
+    assert net.converged(), net.describe()
+    assert len(net.topology().switches) == 3
+    assert len(net.topology().links) == 2
+
+
+def test_neighbor_identity_recorded():
+    net = Network(line(2))
+    net.run_for(10 * SEC)
+    a, pa, b, pb = net.spec.cables[0]
+    neighbor = net.autopilots[a].monitoring.neighbor_of(pa)
+    assert neighbor is not None
+    assert neighbor.uid == net.switches[b].uid
+    assert neighbor.port == pb
+
+
+def test_partition_forms_two_networks():
+    """Section 6.6: physically separated partitions configure as
+    disconnected operational networks."""
+    net = Network(line(4))
+    assert net.run_until_converged(timeout_ns=30 * SEC)
+    net.cut_link(1, 2)
+    net.run_for(20 * SEC)
+    left = net.autopilots[0].engine.topology
+    right = net.autopilots[3].engine.topology
+    assert len(left.switches) == 2
+    assert len(right.switches) == 2
+    assert set(left.switches).isdisjoint(right.switches)

@@ -1,0 +1,123 @@
+"""The distributed protocol against the analytical oracle.
+
+`expected_tree` computes the spanning tree the election provably
+converges to (root = smallest UID, minimum level, ties by parent UID then
+port).  Running the full Autopilot stack on random topologies must
+produce exactly that tree -- and must keep producing it under lost
+control packets, because every reconfiguration message is retransmitted
+until acknowledged.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import SEC
+from repro.core.messages import TreePositionMsg
+from repro.network import Network
+from repro.topology import random_regular
+from repro.topology.generators import expected_tree
+from repro.types import Uid
+
+
+def assert_matches_oracle(net: Network) -> None:
+    oracle = expected_tree(net.spec)
+    actual = net.topology()
+    assert actual.root == oracle.root
+    assert actual.links == oracle.links
+    for uid, record in oracle.switches.items():
+        got = actual.switches[uid]
+        assert got.level == record.level, f"{uid}: level {got.level} != {record.level}"
+        assert got.parent_uid == record.parent_uid
+        assert got.parent_port == record.parent_port
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=8),
+    degree=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_protocol_converges_to_oracle_tree(n, degree, seed):
+    spec = random_regular(n, degree=degree, seed=seed)
+    net = Network(spec)
+    assert net.run_until_converged(timeout_ns=90 * SEC), net.describe()
+    assert_matches_oracle(net)
+
+
+def test_protocol_survives_dropped_control_packets():
+    """Reconfiguration messages are sent 'reliably with acknowledgments
+    and periodic retransmissions' (section 6.6.1): losing a fraction of
+    tree-position packets must only slow convergence, not break it."""
+    spec = random_regular(6, degree=3, seed=11)
+    net = Network(spec)
+
+    # interpose on one switch's transport: drop every third tree-position
+    # packet it sends
+    ap = net.autopilots[0]
+    original = ap.send_one_hop
+    counter = {"n": 0}
+
+    def lossy(port, message):
+        if isinstance(message, TreePositionMsg):
+            counter["n"] += 1
+            if counter["n"] % 3 == 0:
+                return  # dropped on the wire
+        original(port, message)
+
+    ap.send_one_hop = lossy
+    assert net.run_until_converged(timeout_ns=120 * SEC), net.describe()
+    assert counter["n"] > 0, "interposer never saw a tree-position packet"
+    assert_matches_oracle(net)
+
+
+def test_protocol_survives_lost_config_download():
+    """Losing ConfigMsg deliveries delays step 4; retransmission heals."""
+    from repro.core.messages import ConfigMsg
+
+    spec = random_regular(5, degree=3, seed=4)
+    net = Network(spec)
+    ap = net.autopilots[1]
+    original = ap.send_one_hop
+    dropped = {"n": 0}
+
+    def lossy(port, message):
+        if isinstance(message, ConfigMsg) and dropped["n"] < 2:
+            dropped["n"] += 1
+            return
+        original(port, message)
+
+    ap.send_one_hop = lossy
+    assert net.run_until_converged(timeout_ns=120 * SEC), net.describe()
+    assert_matches_oracle(net)
+
+
+def test_reconvergence_after_random_cut_matches_reduced_oracle():
+    spec = random_regular(7, degree=3, seed=21)
+    net = Network(spec)
+    assert net.run_until_converged(timeout_ns=90 * SEC)
+    # cut a link whose removal keeps the graph connected
+    import networkx as nx
+
+    g = nx.MultiGraph((a, b) for a, _pa, b, _pb in spec.cables)
+    victim = None
+    for a, pa, b, pb in spec.cables:
+        trial = nx.MultiGraph(g)
+        trial.remove_edge(a, b)
+        if nx.is_connected(trial):
+            victim = (a, pa, b, pb)
+            break
+    assert victim is not None
+    net.cut_link(victim[0], victim[2])
+    assert net.run_until_converged(timeout_ns=90 * SEC), net.describe()
+
+    from repro.topology.generators import TopologySpec
+
+    reduced = TopologySpec(
+        uids=list(spec.uids),
+        cables=[c for c in spec.cables if c != victim],
+        name="reduced",
+    )
+    oracle = expected_tree(reduced)
+    actual = net.topology()
+    assert actual.root == oracle.root
+    assert actual.links == oracle.links

@@ -1,0 +1,102 @@
+"""Reconfiguration edge cases: retransmission caps, quiescence mode,
+scale, and SRP availability mid-reconfiguration."""
+
+import pytest
+
+from repro.analysis.explorer import NetworkExplorer
+from repro.constants import SEC
+from repro.core.autopilot import AutopilotParams
+from repro.network import Network
+from repro.topology import line, ring, torus
+
+
+def test_quiescence_mode_converges():
+    """Plain-Perlman-with-timeout still reaches a correct configuration,
+    just more slowly (the E10 comparison's correctness side)."""
+
+    def factory(_i):
+        params = AutopilotParams()
+        params.reconfig.termination_mode = "quiescence"
+        params.reconfig.quiescence_timeout_ns = 200_000_000
+        return params
+
+    net = Network(ring(4), params_factory=factory)
+    assert net.run_until_converged(timeout_ns=120 * SEC), net.describe()
+    from repro.topology.generators import expected_tree
+
+    oracle = expected_tree(net.spec)
+    assert net.topology().root == oracle.root
+    assert net.topology().links == oracle.links
+
+
+def test_retransmission_gives_up_eventually():
+    """The reliable sender caps retransmissions so a vanished neighbor
+    cannot pin resources forever."""
+    from repro.core.messages import StableMsg
+    from repro.core.reconfig import ReconfigParams
+
+    params = ReconfigParams(max_retx=3, retx_period_ns=10_000_000)
+    net = Network(line(2), params_factory=lambda i: AutopilotParams(
+        reconfig=params
+    ))
+    assert net.run_until_converged(timeout_ns=60 * SEC)
+    engine = net.autopilots[1].engine
+    # send a reliable message into a black hole (cut link, no detection
+    # yet): it must stop retrying after max_retx attempts
+    net.cut_link(0, 1)
+    a, pa, b, pb = net.spec.cables[0]
+    sent = {"n": 0}
+    original = net.autopilots[1].send_one_hop
+    net.autopilots[1].send_one_hop = lambda port, msg: (
+        sent.__setitem__("n", sent["n"] + 1), original(port, msg)
+    )[-1]
+    engine._send_reliable(pb, StableMsg(epoch=engine.epoch,
+                                        sender_uid=net.autopilots[1].uid))
+    net.run_for(1 * SEC)
+    assert sent["n"] <= 4  # initial transmission + capped retries
+
+
+def test_srp_sweep_during_reconfiguration():
+    """SRP works while routing is down (section 6.7): a topology sweep
+    started mid-reconfiguration still completes."""
+    net = Network(torus(2, 3))
+    assert net.run_until_converged(timeout_ns=60 * SEC)
+    net.autopilots[3].trigger_reconfiguration("sweep-test")
+    # sweep immediately: tables are one-hop-only right now
+    result = NetworkExplorer(net, origin=0).explore()
+    assert len(result.topology.switches) == 6
+
+
+def test_forty_switch_network_converges():
+    """Scale check: well beyond the SRC installation."""
+    net = Network(torus(5, 8))
+    assert net.run_until_converged(timeout_ns=120 * SEC), net.describe()
+    topo = net.topology()
+    assert len(topo.switches) == 40
+    assert len(set(topo.numbers.values())) == 40
+
+
+def test_simultaneous_boot_single_epoch_family():
+    """All switches booting together coalesce into few epochs, not one
+    per promotion (the epoch-merging behaviour of section 6.6.2)."""
+    net = Network(torus(3, 4))
+    assert net.run_until_converged(timeout_ns=60 * SEC)
+    # far fewer epochs than GOOD-promotions (48 port promotions happened)
+    assert net.current_epoch() <= 12
+
+
+def test_host_only_switch_configures_alone():
+    """A switch with no switch neighbors is its own root and configures
+    itself immediately (the degenerate spanning tree)."""
+    from repro.topology.generators import TopologySpec
+    from repro.types import Uid
+
+    spec = TopologySpec(uids=[Uid(0x77)], name="lonely")
+    net = Network(spec)
+    net.add_host("h", [(0, 5)])
+    net.run_for(20 * SEC)
+    ap = net.autopilots[0]
+    assert ap.configured and ap.engine.table_loaded
+    assert ap.engine.topology is not None
+    assert len(ap.engine.topology.switches) == 1
+    assert net.drivers["h"].ready

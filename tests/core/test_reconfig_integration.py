@@ -1,0 +1,67 @@
+"""Integration: full Autopilot stacks converging on real simulated links."""
+
+import pytest
+
+from repro.constants import SEC
+from repro.network import Network
+from repro.topology import line, ring, torus
+
+
+def test_two_switches_converge():
+    net = Network(line(2))
+    assert net.run_until_converged(timeout_ns=20 * SEC), net.describe()
+    topo = net.topology()
+    assert len(topo.switches) == 2
+    assert len(topo.links) == 1
+    # the root is the smallest UID
+    assert topo.root == min(s.uid for s in net.switches)
+
+
+def test_ring_converges_with_consistent_numbers():
+    net = Network(ring(4))
+    assert net.run_until_converged(timeout_ns=30 * SEC), net.describe()
+    topo = net.topology()
+    assert len(topo.switches) == 4
+    numbers = sorted(topo.numbers.values())
+    assert len(set(numbers)) == 4
+    # every autopilot agrees on the numbering
+    for ap in net.autopilots:
+        assert ap.engine.topology.numbers == topo.numbers
+
+
+def test_link_failure_triggers_reconfiguration():
+    net = Network(ring(4))
+    assert net.run_until_converged(timeout_ns=30 * SEC), net.describe()
+    epoch_before = net.current_epoch()
+    links_before = len(net.topology().links)
+
+    net.cut_link(0, 1)
+    assert net.run_until_converged(timeout_ns=30 * SEC), net.describe()
+    assert net.current_epoch() > epoch_before
+    assert len(net.topology().links) == links_before - 1
+    assert len(net.topology().switches) == 4
+
+
+def test_switch_crash_and_restart():
+    net = Network(ring(4))
+    assert net.run_until_converged(timeout_ns=30 * SEC), net.describe()
+
+    net.crash_switch(2)
+    assert net.run_until_converged(timeout_ns=30 * SEC), net.describe()
+    assert len(net.topology().switches) == 3
+
+    net.restart_switch(2)
+    assert net.run_until_converged(timeout_ns=60 * SEC), net.describe()
+    assert len(net.topology().switches) == 4
+
+
+def test_switch_numbers_stable_across_epochs():
+    """Section 6.6.3: short addresses tend to survive reconfigurations."""
+    net = Network(torus(2, 3))
+    assert net.run_until_converged(timeout_ns=30 * SEC), net.describe()
+    numbers_before = dict(net.topology().numbers)
+
+    net.cut_link(0, 1)
+    assert net.run_until_converged(timeout_ns=30 * SEC), net.describe()
+    numbers_after = net.topology().numbers
+    assert numbers_after == numbers_before

@@ -1,0 +1,125 @@
+"""The Autonet-to-Ethernet bridge (section 6.8.2)."""
+
+import pytest
+
+from repro.baselines.ethernet import ETHERNET_BROADCAST, Ethernet
+from repro.constants import SEC
+from repro.host.bridge import AutonetEthernetBridge
+from repro.host.localnet import BROADCAST_UID, LocalNet
+from repro.network import Network
+from repro.topology import line
+from repro.types import Uid
+
+
+@pytest.fixture
+def bridged():
+    """A 2-switch Autonet with host h0, bridged to an Ethernet with
+    station e0."""
+    net = Network(line(2))
+    net.add_host("h0", [(0, 5), (1, 5)])
+    ln0 = LocalNet(net.drivers["h0"])
+    bridge_ctrl = net.add_host("bridge", [(1, 7), (0, 7)])
+    ether = Ethernet(net.sim)
+    bridge_station = ether.attach(bridge_ctrl.uid, "bridge-eth")
+    e0 = ether.attach(Uid(0xE0), "e0")
+    bridge = AutonetEthernetBridge(net.drivers["bridge"], bridge_station)
+    assert net.run_until_converged(timeout_ns=30 * SEC)
+    net.run_for(5 * SEC)
+    return net, ln0, ether, e0, bridge
+
+
+def test_autonet_broadcast_crosses_to_ethernet(bridged):
+    net, ln0, ether, e0, bridge = bridged
+    got = []
+    e0.on_receive = lambda src, dst, size, p: got.append((src, size))
+    ln0.send(BROADCAST_UID, 700)
+    net.run_for(1 * SEC)
+    assert got, "broadcast did not cross the bridge"
+    assert got[0][1] == 700
+    assert bridge.forwarded_to_ethernet >= 1
+
+
+def test_ethernet_to_autonet_host(bridged):
+    net, ln0, ether, e0, bridge = bridged
+    h0_uid = net.hosts["h0"].uid
+    got = []
+    ln0.on_datagram = lambda src, et, size, pkt: got.append((src, size))
+    e0.send(h0_uid, 600)
+    net.run_for(1 * SEC)
+    assert got == [(Uid(0xE0), 600)]
+    assert bridge.forwarded_to_autonet >= 1
+
+
+def test_proxy_arp_lets_autonet_host_reach_ethernet_host(bridged):
+    net, ln0, ether, e0, bridge = bridged
+    # the bridge must first learn that e0 lives on the Ethernet
+    e0.send(ETHERNET_BROADCAST, 100)
+    net.run_for(1 * SEC)
+
+    got = []
+    e0.on_receive = lambda src, dst, size, p: got.append((src, dst, size))
+    # h0 sends to e0's UID: first packet broadcasts; the bridge forwards
+    # it and proxy-answers the eventual ARP with its own short address
+    ln0.send(Uid(0xE0), 800)
+    net.run_for(8 * SEC)
+    assert any(size == 800 for _, _, size in got)
+
+    # after learning, h0's cache should point e0's UID at the bridge
+    entry = ln0.cache.get(Uid(0xE0))
+    assert entry is not None
+    assert entry.short_address == net.drivers["bridge"].short_address
+
+
+def test_round_trip_conversation(bridged):
+    net, ln0, ether, e0, bridge = bridged
+    h0_uid = net.hosts["h0"].uid
+    heard_on_ethernet = []
+    heard_on_autonet = []
+    e0.on_receive = lambda src, dst, size, p: heard_on_ethernet.append(size)
+    ln0.on_datagram = lambda src, et, size, pkt: heard_on_autonet.append(size)
+
+    e0.send(h0_uid, 300)       # teaches the bridge + h0 about e0
+    net.run_for(2 * SEC)
+    assert heard_on_autonet == [300]
+    ln0.send(Uid(0xE0), 400)   # reply crosses back
+    net.run_for(2 * SEC)
+    assert 400 in heard_on_ethernet
+
+
+def test_bridge_refuses_oversize_packets(bridged):
+    net, ln0, ether, e0, bridge = bridged
+    from repro.net.packet import Packet, PacketType
+
+    e0.send(ETHERNET_BROADCAST, 100)  # teach the bridge e0's location
+    net.run_for(1 * SEC)
+    big = Packet(
+        dest_short=net.drivers["bridge"].short_address,
+        src_short=0,
+        ptype=PacketType.CLIENT,
+        dest_uid=Uid(0xE0),
+        src_uid=net.hosts["h0"].uid,
+        data_bytes=4000,
+    )
+    net.drivers["h0"].send(big)
+    net.run_for(1 * SEC)
+    assert bridge.refused_large == 1
+
+
+def test_bridge_refuses_encrypted_packets(bridged):
+    net, ln0, ether, e0, bridge = bridged
+    from repro.net.packet import Packet, PacketType
+
+    e0.send(ETHERNET_BROADCAST, 100)
+    net.run_for(1 * SEC)
+    secret = Packet(
+        dest_short=net.drivers["bridge"].short_address,
+        src_short=0,
+        ptype=PacketType.CLIENT,
+        dest_uid=Uid(0xE0),
+        src_uid=net.hosts["h0"].uid,
+        data_bytes=100,
+        encrypted=True,
+    )
+    net.drivers["h0"].send(secret)
+    net.run_for(1 * SEC)
+    assert bridge.refused_encrypted == 1

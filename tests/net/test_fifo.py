@@ -1,0 +1,176 @@
+"""The fluid-model receive FIFO: occupancy, cut-through, thresholds."""
+
+import pytest
+
+from repro.constants import BYTE_TIME_NS
+from repro.net.fifo import DiscardSink, ReceiveFifo
+from repro.net.flowcontrol import Directive
+from repro.net.packet import Packet, PacketType
+from repro.sim.engine import Simulator
+
+
+def make_fifo(sim, **kwargs):
+    events = {"ready": [], "directives": [], "drained": [], "overflow": []}
+    fifo = ReceiveFifo(
+        sim,
+        "test.fifo",
+        on_head_ready=lambda p: events["ready"].append((sim.now, p)),
+        on_level_directive=lambda d: events["directives"].append((sim.now, d)),
+        on_packet_drained=lambda p: events["drained"].append((sim.now, p)),
+        on_overflow=lambda p: events["overflow"].append((sim.now, p)),
+        **kwargs,
+    )
+    return fifo, events
+
+
+def packet(size_data=100):
+    return Packet(dest_short=0x20, src_short=0x30, ptype=PacketType.DIAGNOSTIC,
+                  data_bytes=size_data)
+
+
+def test_arrival_accumulates_linearly():
+    sim = Simulator()
+    fifo, events = make_fifo(sim)
+    pkt = packet(1000)  # wire = 1040
+    fifo.begin_packet(pkt)
+    fifo.set_in_rate(1.0)
+    sim.run(until=100 * BYTE_TIME_NS)
+    assert fifo.level == pytest.approx(100, abs=1)
+
+
+def test_head_ready_after_two_address_bytes():
+    """Routing request issued once the two address bytes arrive (§6.3)."""
+    sim = Simulator()
+    fifo, events = make_fifo(sim)
+    fifo.begin_packet(packet())
+    fifo.set_in_rate(1.0)
+    sim.run(until=10_000)
+    assert events["ready"]
+    t_ready = events["ready"][0][0]
+    assert t_ready == pytest.approx(2 * BYTE_TIME_NS, abs=BYTE_TIME_NS)
+
+
+def test_cut_through_starts_at_25_bytes():
+    """Forwarding may begin after only 25 bytes have arrived (§3.5)."""
+    sim = Simulator()
+    fifo, events = make_fifo(sim)
+    sink = DiscardSink()
+    pkt = packet(1000)
+    fifo.begin_packet(pkt)
+    fifo.set_in_rate(1.0)
+
+    drain_started = []
+    orig = sink.notify_begin
+    sink.notify_begin = lambda p, b: (drain_started.append(sim.now), orig(p, b))
+    sim.at(events["ready"] and 0 or 0, lambda: None)
+
+    def connect():
+        fifo.connect_drain([sink], broadcast=False)
+
+    sim.at(1, connect)
+    sim.run(until=1_000_000)
+    assert drain_started
+    assert drain_started[0] == pytest.approx(25 * BYTE_TIME_NS, abs=2 * BYTE_TIME_NS)
+
+
+def test_passthrough_drains_at_arrival_rate():
+    """With an empty buffer and ongoing arrival, cut-through forwards at
+    the arrival rate; completion happens one wire-time after begin."""
+    sim = Simulator()
+    fifo, events = make_fifo(sim)
+    sink = DiscardSink()
+    pkt = packet(1000)
+    fifo.begin_packet(pkt)
+    fifo.set_in_rate(1.0)
+    fifo.connect_drain([sink], broadcast=False)
+    end = pkt.wire_bytes * BYTE_TIME_NS
+    sim.at(end, lambda: fifo.end_packet(pkt))
+    sim.run(until=10 * end)
+    assert events["drained"]
+    assert events["drained"][0][0] == pytest.approx(end, rel=0.05)
+    assert sink.packets_discarded == 1
+    assert fifo.level == 0
+
+
+def test_stop_directive_at_watermark():
+    sim = Simulator()
+    fifo, events = make_fifo(sim, capacity=1000, stop_fraction=0.5)
+    pkt = packet(2000)
+    fifo.begin_packet(pkt)
+    fifo.set_in_rate(1.0)
+    sim.run(until=2 * 500 * BYTE_TIME_NS)
+    stops = [d for d in events["directives"] if d[1] is Directive.STOP]
+    assert stops
+    assert stops[0][0] == pytest.approx(500 * BYTE_TIME_NS, rel=0.01)
+
+
+def test_start_directive_when_draining_below_watermark():
+    sim = Simulator()
+    fifo, events = make_fifo(sim, capacity=1000, stop_fraction=0.5)
+    pkt = packet(600)  # wire 640
+    fifo.begin_packet(pkt)
+    fifo.set_in_rate(1.0)
+    sim.run(until=pkt.wire_bytes * BYTE_TIME_NS)
+    fifo.end_packet(pkt)
+    assert fifo.stopped
+    fifo.connect_drain([DiscardSink()], broadcast=False)
+    sim.run(until=sim.now + 2000 * BYTE_TIME_NS)
+    starts = [d for d in events["directives"] if d[1] is Directive.START]
+    assert starts
+    assert not fifo.stopped
+
+
+def test_overflow_marks_packet_corrupted():
+    sim = Simulator()
+    fifo, events = make_fifo(sim, capacity=100)
+    pkt = packet(500)
+    fifo.begin_packet(pkt)
+    fifo.set_in_rate(1.0)
+    sim.run(until=600 * BYTE_TIME_NS)
+    assert events["overflow"]
+    assert pkt.corrupted
+
+
+def test_queued_packets_drain_in_order():
+    sim = Simulator()
+    fifo, events = make_fifo(sim, capacity=1 << 20)
+    first, second = packet(100), packet(100)
+    for pkt in (first, second):
+        fifo.begin_packet(pkt)
+        entry = fifo.queue[-1]
+        entry.bytes_in = float(entry.size)
+        entry.arriving = False
+    fifo.recompute()
+    sink = DiscardSink()
+    # the head was announced; connect it, then the next on promotion
+    assert [p for _, p in events["ready"]] == [first]
+    fifo.connect_drain([sink], broadcast=False)
+    sim.run(until=1_000_000)
+    assert [p for _, p in events["ready"]] == [first, second]
+    fifo.connect_drain([sink], broadcast=False)
+    sim.run(until=2_000_000)
+    assert [p for _, p in events["drained"]] == [first, second]
+
+
+def test_drain_gated_by_target_permission():
+    class GatedSink(DiscardSink):
+        allowed = False
+
+        def drain_allowed(self, broadcast):
+            return self.allowed
+
+    sim = Simulator()
+    fifo, events = make_fifo(sim)
+    sink = GatedSink()
+    pkt = packet(100)
+    fifo.begin_packet(pkt)
+    entry = fifo.queue[-1]
+    entry.bytes_in = float(entry.size)
+    entry.arriving = False
+    fifo.connect_drain([sink], broadcast=False)
+    sim.run(until=100_000)
+    assert not events["drained"]
+    sink.allowed = True
+    fifo.recompute()
+    sim.run(until=sim.now + 1_000_000)
+    assert events["drained"]

@@ -1,0 +1,133 @@
+"""TAXI flow-control directives and slot timing (sections 6.1, 6.2)."""
+
+from repro.net.flowcontrol import (
+    FC_SLOT_PERIOD_NS,
+    Directive,
+    FlowControlReceiver,
+    FlowControlSender,
+    next_fc_slot,
+)
+from repro.sim.engine import Simulator
+
+
+class TestSlotTiming:
+    def test_period_is_256_slots(self):
+        assert FC_SLOT_PERIOD_NS == 256 * 80
+
+    def test_next_slot_at_phase(self):
+        assert next_fc_slot(0, 100) == 100
+        assert next_fc_slot(100, 100) == 100
+        assert next_fc_slot(101, 100) == 100 + FC_SLOT_PERIOD_NS
+
+    def test_next_slot_multiple_periods(self):
+        t = 100 + 3 * FC_SLOT_PERIOD_NS
+        assert next_fc_slot(t - 1, 100) == t
+
+
+class TestSender:
+    def _make(self, sim, **kwargs):
+        delivered = []
+        sender = FlowControlSender(
+            sim, deliver=delivered.append, propagation_ns=0, **kwargs
+        )
+        return sender, delivered
+
+    def test_initial_directive_announced(self):
+        sim = Simulator()
+        sender, delivered = self._make(sim)
+        sim.run(until=FC_SLOT_PERIOD_NS)
+        assert delivered == [Directive.START]
+
+    def test_host_sends_host_not_start(self):
+        """Section 6.1: host controllers send host instead of start."""
+        sim = Simulator()
+        sender, delivered = self._make(sim, is_host=True)
+        sim.run(until=FC_SLOT_PERIOD_NS)
+        assert delivered == [Directive.HOST]
+
+    def test_host_may_not_send_stop(self):
+        """Section 6.2: host controllers may not send stop commands."""
+        sim = Simulator()
+        sender, delivered = self._make(sim, is_host=True)
+        sender.set_level_directive(Directive.STOP)
+        sim.run(until=3 * FC_SLOT_PERIOD_NS)
+        assert Directive.STOP not in delivered
+
+    def test_change_waits_for_slot_boundary(self):
+        sim = Simulator()
+        sender, delivered = self._make(sim, phase=0)
+        sim.run(until=10)  # initial start went out at t=0
+        sender.set_level_directive(Directive.STOP)
+        sim.run(until=FC_SLOT_PERIOD_NS - 1)
+        assert delivered == [Directive.START]
+        sim.run(until=FC_SLOT_PERIOD_NS)
+        assert delivered == [Directive.START, Directive.STOP]
+
+    def test_rapid_toggle_collapses_to_latest(self):
+        sim = Simulator()
+        sender, delivered = self._make(sim, phase=0)
+        sim.run(until=10)
+        sender.set_level_directive(Directive.STOP)
+        sender.set_level_directive(Directive.START)  # changed back pre-slot
+        sim.run(until=2 * FC_SLOT_PERIOD_NS)
+        assert delivered == [Directive.START]  # no spurious transition
+
+    def test_force_idhy_overrides(self):
+        sim = Simulator()
+        sender, delivered = self._make(sim, phase=0)
+        sender.force(Directive.IDHY)
+        sim.run(until=FC_SLOT_PERIOD_NS)
+        assert delivered[-1] == Directive.IDHY
+        sender.force(None)
+        sim.run(until=3 * FC_SLOT_PERIOD_NS)
+        assert delivered[-1] == Directive.START
+
+    def test_mute_silences_and_unmute_reannounces(self):
+        sim = Simulator()
+        sender, delivered = self._make(sim, phase=0)
+        sender.mute(True)
+        sim.run(until=2 * FC_SLOT_PERIOD_NS)
+        assert delivered == []
+        sender.mute(False)
+        sim.run(until=4 * FC_SLOT_PERIOD_NS)
+        assert delivered == [Directive.START]
+
+
+class TestReceiver:
+    def test_latches_last_directive(self):
+        rx = FlowControlReceiver()
+        rx.receive(Directive.START, 10)
+        rx.receive(Directive.STOP, 20)
+        assert rx.last is Directive.STOP
+        assert not rx.transmission_allowed
+
+    def test_persistence_of_latched_value(self):
+        """The design oversight of section 6.2: with no further directives
+        the last one keeps acting."""
+        rx = FlowControlReceiver()
+        rx.receive(Directive.STOP, 10)
+        # silence follows; nothing changes
+        assert rx.last is Directive.STOP
+
+    def test_host_directive_permits_and_flags(self):
+        rx = FlowControlReceiver()
+        rx.receive(Directive.HOST, 10)
+        assert rx.transmission_allowed
+        assert rx.host_attached
+
+    def test_counters(self):
+        rx = FlowControlReceiver()
+        for d in (Directive.START, Directive.IDHY, Directive.PANIC, Directive.HOST):
+            rx.receive(d, 0)
+        assert rx.starts_seen == 2  # start + host
+        assert rx.idhy_seen == 1
+        assert rx.panic_seen == 1
+
+    def test_change_callback(self):
+        changes = []
+        rx = FlowControlReceiver(on_change=changes.append)
+        rx.receive(Directive.START, 0)
+        rx.receive(Directive.START, 1)
+        rx.receive(Directive.STOP, 2)
+        assert changes == [Directive.START, Directive.STOP]
+        assert rx.last_change_time == 2

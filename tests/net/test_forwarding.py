@@ -1,0 +1,109 @@
+"""Forwarding-table semantics: the constant part and entry interpretation
+(section 6.3)."""
+
+import pytest
+
+from repro.constants import (
+    ADDR_LOCAL_SWITCH,
+    ADDR_LOOPBACK,
+    ADDR_ONE_HOP_BASE,
+    CONTROL_PROCESSOR_PORT,
+)
+from repro.net.forwarding import DISCARD_ENTRY, ForwardingEntry, ForwardingTable
+
+
+class TestForwardingEntry:
+    def test_ports_sorted(self):
+        entry = ForwardingEntry((7, 3, 5))
+        assert entry.ports == (3, 5, 7)
+
+    def test_discard_is_broadcast_with_empty_vector(self):
+        """Section 6.3: a broadcast entry with all 0's means discard."""
+        assert DISCARD_ENTRY.broadcast
+        assert DISCARD_ENTRY.ports == ()
+        assert DISCARD_ENTRY.is_discard
+        assert not ForwardingEntry((1,), broadcast=True).is_discard
+        # an alternative entry with no ports is NOT the discard encoding
+        assert not ForwardingEntry((), broadcast=False).is_discard
+
+    def test_port_range_checked(self):
+        with pytest.raises(ValueError):
+            ForwardingEntry((13,))
+
+
+class TestConstantPart:
+    def test_one_hop_from_cp(self):
+        """0x001-0x00C from port 0 transmit on the numbered port."""
+        table = ForwardingTable()
+        for port in range(1, 13):
+            entry = table.lookup(CONTROL_PROCESSOR_PORT, ADDR_ONE_HOP_BASE + port - 1)
+            assert entry.ports == (port,)
+
+    def test_one_hop_from_external_port_goes_to_cp(self):
+        table = ForwardingTable()
+        for in_port in range(1, 13):
+            entry = table.lookup(in_port, ADDR_ONE_HOP_BASE + 2)
+            assert entry.ports == (CONTROL_PROCESSOR_PORT,)
+
+    def test_local_switch_address(self):
+        """0x000 from a host reaches the local control processor."""
+        table = ForwardingTable()
+        entry = table.lookup(5, ADDR_LOCAL_SWITCH)
+        assert entry.ports == (CONTROL_PROCESSOR_PORT,)
+
+    def test_loopback_reflects(self):
+        """0xFFC reflects back down the receiving link."""
+        table = ForwardingTable()
+        for in_port in range(1, 13):
+            assert table.lookup(in_port, ADDR_LOOPBACK).ports == (in_port,)
+
+    def test_unknown_address_discarded(self):
+        table = ForwardingTable()
+        assert table.lookup(3, 0x123).is_discard
+
+    def test_reserved_addresses_discarded(self):
+        """0xFF0-0xFFB are reserved: packets discarded (section 6.3)."""
+        table = ForwardingTable()
+        for address in range(0x7F0, 0x7FC):
+            assert table.lookup(3, address).is_discard
+
+
+class TestLoading:
+    def test_clear_preserves_constant_part(self):
+        table = ForwardingTable()
+        table.set_entry(3, 0x123, ForwardingEntry((7,)))
+        table.clear_to_constant()
+        assert table.lookup(3, 0x123).is_discard
+        assert table.lookup(3, ADDR_ONE_HOP_BASE).ports == (CONTROL_PROCESSOR_PORT,)
+
+    def test_load_replaces_non_constant(self):
+        table = ForwardingTable()
+        table.load({(3, 0x100): ForwardingEntry((5,))})
+        assert table.lookup(3, 0x100).ports == (5,)
+        table.load({(3, 0x200): ForwardingEntry((6,))})
+        assert table.lookup(3, 0x100).is_discard
+        assert table.lookup(3, 0x200).ports == (6,)
+
+    def test_generation_counts_loads(self):
+        table = ForwardingTable()
+        g0 = table.generation
+        table.load({})
+        table.clear_to_constant()
+        assert table.generation == g0 + 2
+
+    def test_addresses_truncated_on_access(self):
+        table = ForwardingTable()
+        table.set_entry(1, 0xFFFC, ForwardingEntry((1,)))
+        assert table.lookup(1, 0x7FC).ports == (1,)
+
+    def test_remove_entry(self):
+        table = ForwardingTable()
+        table.set_entry(2, 0x100, ForwardingEntry((4,)))
+        table.remove_entry(2, 0x100)
+        assert table.lookup(2, 0x100).is_discard
+
+    def test_non_constant_entries_view(self):
+        table = ForwardingTable()
+        table.set_entry(2, 0x100, ForwardingEntry((4,)))
+        extra = table.non_constant_entries()
+        assert extra == {(2, 0x100): ForwardingEntry((4,))}

@@ -1,0 +1,149 @@
+"""The first-come, first-considered scheduling engine (section 6.4)."""
+
+import pytest
+
+from repro.net.forwarding import ForwardingEntry
+from repro.net.packet import Packet
+from repro.net.scheduler import Request, SchedulingEngine
+from repro.sim.engine import Simulator
+
+
+def make_engine(sim, grants):
+    return SchedulingEngine(
+        sim, n_ports=12, grant=lambda req, ports: grants.append((req.in_port, ports))
+    )
+
+
+def pkt():
+    return Packet(dest_short=0x20, src_short=0x30)
+
+
+def test_alternative_request_prefers_lowest_port():
+    sim = Simulator()
+    grants = []
+    engine = make_engine(sim, grants)
+    engine.add_request(Request(1, ForwardingEntry((5, 3, 7)), pkt()))
+    sim.run()
+    assert grants == [(1, (3,))]
+
+
+def test_busy_ports_skipped():
+    sim = Simulator()
+    grants = []
+    engine = make_engine(sim, grants)
+    engine.mark_port_busy(3)
+    engine.add_request(Request(1, ForwardingEntry((3, 5)), pkt()))
+    sim.run()
+    assert grants == [(1, (5,))]
+
+
+def test_request_waits_for_port_free():
+    sim = Simulator()
+    grants = []
+    engine = make_engine(sim, grants)
+    engine.mark_port_busy(4)
+    engine.add_request(Request(2, ForwardingEntry((4,)), pkt()))
+    sim.run()
+    assert grants == []
+    sim.at(sim.now + 10, engine.port_freed, 4)
+    sim.run()
+    assert grants == [(2, (4,))]
+
+
+def test_decision_rate_480ns():
+    """One request scheduled every 480 ns: 2 M requests/s (section 6.4)."""
+    sim = Simulator()
+    grant_times = []
+    engine = SchedulingEngine(
+        sim, n_ports=12, grant=lambda req, ports: grant_times.append(sim.now)
+    )
+    for i in range(4):
+        engine.add_request(Request(i + 1, ForwardingEntry((i + 5,)), pkt()))
+    sim.run()
+    assert len(grant_times) == 4
+    deltas = [b - a for a, b in zip(grant_times, grant_times[1:])]
+    assert all(d >= 480 for d in deltas)
+
+
+def test_out_of_order_service():
+    """Queue jumping: younger requests may be serviced first when free
+    ports don't suit older ones (section 6.4)."""
+    sim = Simulator()
+    grants = []
+    engine = make_engine(sim, grants)
+    engine.mark_port_busy(3)
+    engine.add_request(Request(1, ForwardingEntry((3,)), pkt()))   # blocked
+    engine.add_request(Request(2, ForwardingEntry((5,)), pkt()))   # free
+    sim.run()
+    assert grants == [(2, (5,))]
+    engine.port_freed(3)
+    sim.run()
+    assert grants == [(2, (5,)), (1, (3,))]
+
+
+def test_broadcast_waits_for_all_ports():
+    sim = Simulator()
+    grants = []
+    engine = make_engine(sim, grants)
+    engine.mark_port_busy(2)
+    engine.add_request(Request(1, ForwardingEntry((2, 3, 4), broadcast=True), pkt()))
+    sim.run()
+    assert grants == []
+    engine.port_freed(2)
+    sim.run()
+    assert grants == [(1, (2, 3, 4))]
+
+
+def test_broadcast_reserves_ports_against_younger_requests():
+    """Accumulated broadcast captures are not stolen by younger requests:
+    the starvation-freedom property of section 6.4."""
+    sim = Simulator()
+    grants = []
+    engine = make_engine(sim, grants)
+    engine.mark_port_busy(2)
+    # broadcast wants 2 and 3; it captures 3 now and waits for 2
+    engine.add_request(Request(1, ForwardingEntry((2, 3), broadcast=True), pkt()))
+    sim.run()
+    # a younger alternative request wants 3 (reserved) or 7
+    engine.add_request(Request(4, ForwardingEntry((3, 7)), pkt()))
+    sim.run()
+    assert grants == [(4, (7,))]  # it got 7, not the reserved 3
+    engine.port_freed(2)
+    sim.run()
+    assert grants[-1] == (1, (2, 3))
+
+
+def test_broadcast_eventually_scheduled_under_contention():
+    """A broadcast request accumulates ports as they free and is never
+    starved by a stream of alternative requests."""
+    sim = Simulator()
+    grants = []
+    engine = make_engine(sim, grants)
+    engine.mark_port_busy(2)
+    engine.mark_port_busy(3)
+    engine.add_request(Request(1, ForwardingEntry((2, 3), broadcast=True), pkt()))
+
+    # competing single-port requests keep arriving for ports 2 and 3
+    def compete(i):
+        engine.add_request(Request(5 + (i % 8), ForwardingEntry((2, 3)), pkt()))
+
+    for i in range(5):
+        sim.at(1000 * (i + 1), compete, i)
+    sim.at(10_000, engine.port_freed, 2)
+    sim.at(20_000, engine.port_freed, 3)
+    sim.run()
+    assert (1, (2, 3)) in grants
+
+
+def test_clear_drops_requests_and_reservations():
+    sim = Simulator()
+    grants = []
+    engine = make_engine(sim, grants)
+    engine.mark_port_busy(2)
+    engine.add_request(Request(1, ForwardingEntry((2, 3), broadcast=True), pkt()))
+    sim.run()
+    engine.clear()
+    engine.port_freed(2)
+    sim.run()
+    assert grants == []
+    assert engine.pending() == 0

@@ -1,0 +1,129 @@
+"""The event loop: ordering, cancellation, idle hooks, run bounds."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.at(300, order.append, "c")
+    sim.at(100, order.append, "a")
+    sim.at(200, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 300
+
+
+def test_same_time_events_run_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for tag in "abcde":
+        sim.at(50, order.append, tag)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_after_is_relative():
+    sim = Simulator()
+    seen = []
+    sim.at(100, lambda: sim.after(50, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [150]
+
+
+def test_cancellation():
+    sim = Simulator()
+    seen = []
+    handle = sim.at(100, seen.append, "x")
+    handle.cancel()
+    sim.run()
+    assert seen == []
+    assert sim.pending_events() == 0
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.at(100, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(50, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.after(-1, lambda: None)
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    seen = []
+    sim.at(100, seen.append, "early")
+    sim.at(900, seen.append, "late")
+    sim.run(until=500)
+    assert seen == ["early"]
+    assert sim.now == 500
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_run_for_advances_relative():
+    sim = Simulator()
+    sim.run_for(1000)
+    assert sim.now == 1000
+    sim.run_for(500)
+    assert sim.now == 1500
+
+
+def test_idle_hook_can_restart_progress():
+    sim = Simulator()
+    seen = []
+
+    def hook(s):
+        if not seen:
+            s.after(10, seen.append, "revived")
+
+    sim.add_idle_hook(hook)
+    sim.at(5, lambda: None)
+    sim.run(until=100)
+    assert seen == ["revived"]
+
+
+def test_idle_hook_detects_quiescence():
+    sim = Simulator()
+    fired = []
+    sim.add_idle_hook(lambda s: fired.append(s.now))
+    sim.at(42, lambda: None)
+    sim.run(until=1000)
+    assert fired and fired[0] == 42
+
+
+def test_stop_breaks_run_loop():
+    sim = Simulator()
+    seen = []
+    sim.at(10, seen.append, 1)
+    sim.at(20, lambda: sim.stop())
+    sim.at(30, seen.append, 3)
+    sim.run()
+    assert seen == [1]
+    sim.run()
+    assert seen == [1, 3]
+
+
+def test_next_event_time_skips_cancelled():
+    sim = Simulator()
+    handle = sim.at(10, lambda: None)
+    sim.at(20, lambda: None)
+    handle.cancel()
+    assert sim.next_event_time() == 20
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.at(i, seen.append, i)
+    sim.run(max_events=3)
+    assert seen == [0, 1, 2]
