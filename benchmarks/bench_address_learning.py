@@ -13,9 +13,16 @@ fails over and gets a new short address), reporting the broadcast
 fraction, ARP counts, and whether the conversation survives.
 """
 
+if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_X.py
+    import os as _os
+    import sys as _sys
+
+    _ROOT = _os.path.dirname(_os.path.dirname(_os.path.abspath(__file__)))
+    _sys.path[:0] = [_ROOT, _os.path.join(_ROOT, "src")]
+
 import pytest
 
-from benchmarks.bench_util import report
+from benchmarks.bench_util import current_seed, report
 from repro.constants import SEC
 from repro.host.localnet import LocalNet
 from repro.host.workload import RpcClient, RpcServer
@@ -26,7 +33,7 @@ from repro.topology import ring
 @pytest.mark.benchmark(group="E12")
 def test_learning_economy(benchmark):
     def run():
-        net = Network(ring(4))
+        net = Network(ring(4), seed=current_seed())
         net.add_host("client", [(0, 9), (1, 9)])
         net.add_host("server", [(2, 9), (3, 9)])
         ln_client = LocalNet(net.drivers["client"])
@@ -83,3 +90,8 @@ def test_learning_economy(benchmark):
     assert r["broadcast_fraction"] < 0.02
     # the outage covers failover detection; it must stay in single digits
     assert r["outage_ns"] < 10 * SEC
+
+if __name__ == "__main__":
+    from benchmarks.bench_util import run_cli
+
+    run_cli(globals())

@@ -13,9 +13,16 @@ token ring, and a 10 Mbit/s Ethernet; and packet latency vs network size
 for Autonet trees vs token rings.
 """
 
+if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_X.py
+    import os as _os
+    import sys as _sys
+
+    _ROOT = _os.path.dirname(_os.path.dirname(_os.path.abspath(__file__)))
+    _sys.path[:0] = [_ROOT, _os.path.join(_ROOT, "src")]
+
 import pytest
 
-from benchmarks.bench_util import report
+from benchmarks.bench_util import current_seed, report
 from repro.analysis.metrics import rate_mbps
 from repro.baselines.ethernet import Ethernet
 from repro.baselines.token_ring import TokenRing
@@ -35,7 +42,9 @@ MEASURE_NS = 200 * MS
 
 
 def autonet_aggregate(n_pairs):
-    net = Network(torus(3, 4))
+    # telemetry off: this bench is the wall-clock guard for the data
+    # plane, so it must run with observability fully disabled
+    net = Network(torus(3, 4), seed=current_seed(), telemetry=False)
     localnets = {}
     for i, (a, b) in enumerate(PAIRS[:n_pairs]):
         for tag, sw in (("src", a), ("dst", b)):
@@ -156,3 +165,8 @@ def test_latency_scaling(benchmark):
     assert ring_growth > 3 * autonet_growth
     # a 16x larger Autonet adds only ~4 extra switch transits (~9 us)
     assert autonet_growth < 15_000
+
+if __name__ == "__main__":
+    from benchmarks.bench_util import run_cli
+
+    run_cli(globals())

@@ -9,9 +9,16 @@ Measured here: the same three rates and the latency, by offering load
 across the bridge in each regime.
 """
 
+if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_X.py
+    import os as _os
+    import sys as _sys
+
+    _ROOT = _os.path.dirname(_os.path.dirname(_os.path.abspath(__file__)))
+    _sys.path[:0] = [_ROOT, _os.path.join(_ROOT, "src")]
+
 import pytest
 
-from benchmarks.bench_util import report
+from benchmarks.bench_util import current_seed, report
 from repro.baselines.ethernet import Ethernet
 from repro.constants import MS, SEC, US
 from repro.host.bridge import AutonetEthernetBridge
@@ -23,7 +30,7 @@ from repro.types import Uid
 
 
 def build_rig():
-    net = Network(line(2))
+    net = Network(line(2), seed=current_seed())
     net.add_host("h0", [(0, 5), (1, 5)])
     ln0 = LocalNet(net.drivers["h0"])
     bridge_ctrl = net.add_host("bridge", [(1, 7), (0, 7)])
@@ -132,3 +139,8 @@ def test_bridge_rates(benchmark):
     assert 150 <= values["forward max-size (1500B) pkts/s"] <= 400
     assert values["discard small pkts/s"] > 3500
     assert values["small-packet latency (ms)"] < 3.0
+
+if __name__ == "__main__":
+    from benchmarks.bench_util import run_cli
+
+    run_cli(globals())

@@ -12,9 +12,16 @@ Measured here: the storm rate at an innocent host, and the storm
 duration until port-state monitoring removes the reflecting port.
 """
 
+if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_X.py
+    import os as _os
+    import sys as _sys
+
+    _ROOT = _os.path.dirname(_os.path.dirname(_os.path.abspath(__file__)))
+    _sys.path[:0] = [_ROOT, _os.path.join(_ROOT, "src")]
+
 import pytest
 
-from benchmarks.bench_util import report
+from benchmarks.bench_util import current_seed, report
 from repro.constants import SEC
 from repro.host.localnet import BROADCAST_UID, LocalNet
 from repro.network import Network
@@ -26,7 +33,7 @@ def test_broadcast_storm(benchmark):
     def run():
         from repro.constants import MS
 
-        net = Network(line(3))
+        net = Network(line(3), seed=current_seed())
         # single-homed victim: one reflecting cable sustains a circulating
         # broadcast (a dual-homed victim's two reflections double the
         # copies each round and back the fabric up within milliseconds)
@@ -75,3 +82,8 @@ def test_broadcast_storm(benchmark):
     assert copies > 10, "no storm developed"
     assert rate > 500, "storm much slower than the paper's 'thousands per second'"
     assert duration < 5.0, "monitoring did not end the storm"
+
+if __name__ == "__main__":
+    from benchmarks.bench_util import run_cli
+
+    run_cli(globals())

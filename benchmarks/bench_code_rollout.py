@@ -12,9 +12,16 @@ vs paced propagation, under an RPC workload -- reconfiguration count,
 rollout completion time, and the worst client outage.
 """
 
+if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_X.py
+    import os as _os
+    import sys as _sys
+
+    _ROOT = _os.path.dirname(_os.path.dirname(_os.path.abspath(__file__)))
+    _sys.path[:0] = [_ROOT, _os.path.join(_ROOT, "src")]
+
 import pytest
 
-from benchmarks.bench_util import report
+from benchmarks.bench_util import current_seed, report
 from repro.constants import MS, SEC
 from repro.host.localnet import LocalNet
 from repro.host.workload import RpcClient, RpcServer
@@ -23,7 +30,7 @@ from repro.topology import src_service_lan
 
 
 def run_rollout(propagate_delay_ns: int):
-    net = Network(src_service_lan())
+    net = Network(src_service_lan(), seed=current_seed())
     net.add_host("client", [(5, 9), (6, 9)])
     net.add_host("server", [(25, 9), (26, 9)])
     ln_client = LocalNet(net.drivers["client"])
@@ -86,3 +93,8 @@ def test_fast_vs_paced_rollout(benchmark):
     assert fast["epochs"] >= 30
     assert paced["rollout_s"] > fast["rollout_s"]
     assert paced["max_down"] < fast["max_down"]
+
+if __name__ == "__main__":
+    from benchmarks.bench_util import run_cli
+
+    run_cli(globals())

@@ -12,9 +12,16 @@ to a single epoch with every switch holding the same topology and
 switch-number assignment.
 """
 
+if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_X.py
+    import os as _os
+    import sys as _sys
+
+    _ROOT = _os.path.dirname(_os.path.dirname(_os.path.abspath(__file__)))
+    _sys.path[:0] = [_ROOT, _os.path.join(_ROOT, "src")]
+
 import pytest
 
-from benchmarks.bench_util import fmt_ms, report
+from benchmarks.bench_util import current_seed, fmt_ms, report
 from repro.constants import MS, SEC
 from repro.network import Network
 from repro.topology import src_service_lan
@@ -23,7 +30,7 @@ from repro.topology import src_service_lan
 @pytest.mark.benchmark(group="E13")
 def test_overlapping_failures_converge(benchmark):
     def run():
-        net = Network(src_service_lan())
+        net = Network(src_service_lan(), seed=current_seed())
         assert net.run_until_converged(timeout_ns=120 * SEC)
         net.run_for(2 * SEC)
         epoch_before = net.current_epoch()
@@ -78,3 +85,8 @@ def test_overlapping_failures_converge(benchmark):
     assert r["distinct_numberings"] == 1
     assert r["links_removed"] == 3
     assert r["epochs_used"] >= 2
+
+if __name__ == "__main__":
+    from benchmarks.bench_util import run_cli
+
+    run_cli(globals())

@@ -12,9 +12,16 @@ host's active switch crashes, and the alternation period when both
 attachment switches are dead.
 """
 
+if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_X.py
+    import os as _os
+    import sys as _sys
+
+    _ROOT = _os.path.dirname(_os.path.dirname(_os.path.abspath(__file__)))
+    _sys.path[:0] = [_ROOT, _os.path.join(_ROOT, "src")]
+
 import pytest
 
-from benchmarks.bench_util import report
+from benchmarks.bench_util import current_seed, report
 from repro.constants import SEC
 from repro.host.localnet import LocalNet
 from repro.host.workload import RpcClient, RpcServer
@@ -25,7 +32,7 @@ from repro.topology import ring
 @pytest.mark.benchmark(group="E7")
 def test_failover_outage(benchmark):
     def run():
-        net = Network(ring(4))
+        net = Network(ring(4), seed=current_seed())
         net.add_host("client", [(0, 9), (1, 9)])
         net.add_host("server", [(2, 9), (3, 9)])
         ln_client = LocalNet(net.drivers["client"])
@@ -71,7 +78,7 @@ def test_failover_outage(benchmark):
 @pytest.mark.benchmark(group="E7")
 def test_alternation_when_both_links_dead(benchmark):
     def run():
-        net = Network(ring(4))
+        net = Network(ring(4), seed=current_seed())
         net.add_host("h", [(0, 9), (1, 9)])
         LocalNet(net.drivers["h"])
         assert net.run_until_converged(timeout_ns=60 * SEC)
@@ -90,3 +97,8 @@ def test_alternation_when_both_links_dead(benchmark):
         [["alternations in 60 s", "~6 (once per 10 s)", alternations]],
     )
     assert 4 <= alternations <= 9
+
+if __name__ == "__main__":
+    from benchmarks.bench_util import run_cli
+
+    run_cli(globals())

@@ -12,9 +12,16 @@ globally -- repair completion time and the disruption an RPC workload
 observes.
 """
 
+if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_X.py
+    import os as _os
+    import sys as _sys
+
+    _ROOT = _os.path.dirname(_os.path.dirname(_os.path.abspath(__file__)))
+    _sys.path[:0] = [_ROOT, _os.path.join(_ROOT, "src")]
+
 import pytest
 
-from benchmarks.bench_util import fmt_ms, report
+from benchmarks.bench_util import current_seed, fmt_ms, report
 from repro.baselines.routing_ablation import tree_only_topology
 from repro.constants import SEC
 from repro.core.autopilot import AutopilotParams
@@ -34,7 +41,7 @@ def run_variant(enable_local: bool):
             params.reconfig.reset_on_load = False
         return params
 
-    net = Network(src_service_lan(), params_factory=factory)
+    net = Network(src_service_lan(), params_factory=factory, seed=current_seed())
     net.add_host("client", [(0, 9), (1, 9)])
     net.add_host("server", [(20, 9), (21, 9)])
     ln_client = LocalNet(net.drivers["client"])
@@ -124,7 +131,7 @@ def test_local_reconfig_correctness_spotcheck(benchmark):
             params.reconfig.enable_local_reconfig = True
             return params
 
-        net = Network(src_service_lan(), params_factory=factory)
+        net = Network(src_service_lan(), params_factory=factory, seed=current_seed())
         assert net.run_until_converged(timeout_ns=120 * SEC)
         net.run_for(2 * SEC)
         topo = net.topology()
@@ -154,3 +161,8 @@ def test_local_reconfig_correctness_spotcheck(benchmark):
          ["up*/down* violations", 0]],
     )
     assert reachable == total
+
+if __name__ == "__main__":
+    from benchmarks.bench_util import run_cli
+
+    run_cli(globals())

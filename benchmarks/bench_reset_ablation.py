@@ -13,9 +13,16 @@ reload, reporting the reconfiguration time and the control packets
 destroyed by resets.
 """
 
+if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_X.py
+    import os as _os
+    import sys as _sys
+
+    _ROOT = _os.path.dirname(_os.path.dirname(_os.path.abspath(__file__)))
+    _sys.path[:0] = [_ROOT, _os.path.join(_ROOT, "src")]
+
 import pytest
 
-from benchmarks.bench_util import fmt_ms, report
+from benchmarks.bench_util import current_seed, fmt_ms, report
 from repro.constants import SEC
 from repro.core.autopilot import AutopilotParams
 from repro.network import Network
@@ -28,7 +35,7 @@ def run_variant(reset_on_load: bool):
         params.reconfig.reset_on_load = reset_on_load
         return params
 
-    net = Network(src_service_lan(), params_factory=factory)
+    net = Network(src_service_lan(), params_factory=factory, seed=current_seed())
     assert net.run_until_converged(timeout_ns=120 * SEC)
     net.run_for(2 * SEC)
     resets_before = sum(sw.resets for sw in net.switches)
@@ -67,3 +74,8 @@ def test_reset_coupling_ablation(benchmark):
     assert coupled_r > 0
     # the proposed hardware is at least as fast
     assert free_t <= coupled_t * 1.1
+
+if __name__ == "__main__":
+    from benchmarks.bench_util import run_cli
+
+    run_cli(globals())

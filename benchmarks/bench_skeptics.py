@@ -12,9 +12,16 @@ number of reconfigurations is bounded; with hysteresis disabled
 keep pace with the flapping.
 """
 
+if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_X.py
+    import os as _os
+    import sys as _sys
+
+    _ROOT = _os.path.dirname(_os.path.dirname(_os.path.abspath(__file__)))
+    _sys.path[:0] = [_ROOT, _os.path.join(_ROOT, "src")]
+
 import pytest
 
-from benchmarks.bench_util import report
+from benchmarks.bench_util import current_seed, report
 from repro.constants import SEC
 from repro.core.autopilot import AutopilotParams
 from repro.network import Network
@@ -28,7 +35,7 @@ def run_flapping(growth: float, flaps: int = 15, period_ns: int = 2 * SEC):
         params.monitor.conn_skeptic_growth = growth
         return params
 
-    net = Network(ring(4), params_factory=params_factory)
+    net = Network(ring(4), params_factory=params_factory, seed=current_seed())
     assert net.run_until_converged(timeout_ns=60 * SEC)
     net.run_for(2 * SEC)
     epochs_before = net.current_epoch()
@@ -80,7 +87,7 @@ def test_solid_fault_still_fast(benchmark):
     genuine, persistent failure."""
 
     def run():
-        net = Network(ring(4))
+        net = Network(ring(4), seed=current_seed())
         assert net.run_until_converged(timeout_ns=60 * SEC)
         net.run_for(2 * SEC)
         t0 = net.sim.now
@@ -104,3 +111,8 @@ def test_solid_fault_still_fast(benchmark):
     )
     assert detection < 500e6
     assert total < 1e9
+
+if __name__ == "__main__":
+    from benchmarks.bench_util import run_cli
+
+    run_cli(globals())

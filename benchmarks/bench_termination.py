@@ -12,9 +12,16 @@ Measured here: reconfiguration times on the SRC LAN under the stability
 extension vs quiescence timeouts of several lengths.
 """
 
+if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_X.py
+    import os as _os
+    import sys as _sys
+
+    _ROOT = _os.path.dirname(_os.path.dirname(_os.path.abspath(__file__)))
+    _sys.path[:0] = [_ROOT, _os.path.join(_ROOT, "src")]
+
 import pytest
 
-from benchmarks.bench_util import fmt_ms, report
+from benchmarks.bench_util import current_seed, fmt_ms, report
 from repro.constants import MS, SEC
 from repro.core.autopilot import AutopilotParams
 from repro.network import Network
@@ -28,7 +35,7 @@ def timed_reconfig(mode: str, quiet_ms: int = 300):
         params.reconfig.quiescence_timeout_ns = quiet_ms * MS
         return params
 
-    net = Network(src_service_lan(), params_factory=params_factory)
+    net = Network(src_service_lan(), params_factory=params_factory, seed=current_seed())
     assert net.run_until_converged(timeout_ns=120 * SEC), f"{mode} never converged"
     net.run_for(2 * SEC)
     net.cut_link(0, 1)
@@ -63,3 +70,8 @@ def test_stability_vs_quiescence(benchmark):
             assert duration > stability, f"{name} should be slower than stability"
     # the timeout mechanism pays roughly its quiet period as overhead
     assert results["quiescence 500 ms"] > results["quiescence 200 ms"]
+
+if __name__ == "__main__":
+    from benchmarks.bench_util import run_cli
+
+    run_cli(globals())

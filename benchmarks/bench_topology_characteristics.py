@@ -12,10 +12,17 @@ root concentration), single-failure robustness, and the measured
 reconfiguration time -- the trade table an installation guide needs.
 """
 
+if __package__ in (None, ""):  # direct invocation: python benchmarks/bench_X.py
+    import os as _os
+    import sys as _sys
+
+    _ROOT = _os.path.dirname(_os.path.dirname(_os.path.abspath(__file__)))
+    _sys.path[:0] = [_ROOT, _os.path.join(_ROOT, "src")]
+
 import networkx as nx
 import pytest
 
-from benchmarks.bench_util import fmt_ms, report
+from benchmarks.bench_util import current_seed, fmt_ms, report
 from repro.analysis.capacity import analyze_capacity
 from repro.baselines.routing_ablation import tree_only_topology
 from repro.constants import SEC
@@ -25,7 +32,7 @@ from repro.topology.src_lan import src_service_lan
 
 
 def reconfig_time(spec):
-    net = Network(spec)
+    net = Network(spec, seed=current_seed())
     assert net.run_until_converged(timeout_ns=120 * SEC), spec.name
     net.run_for(2 * SEC)
     net.cut_link(spec.cables[0][0], spec.cables[0][2])
@@ -43,7 +50,7 @@ def test_topology_trade_table(benchmark):
     specs = [
         torus(3, 4),
         tree(depth=3, fanout=2),           # 15 switches, no cross links
-        random_regular(12, degree=4, seed=5),
+        random_regular(12, degree=4, seed=current_seed(5)),
         src_service_lan(),
     ]
 
@@ -114,3 +121,8 @@ def test_routing_capacity_comparison(benchmark):
         ],
     )
     assert full.capacity_per_flow > 1.5 * tree_only.capacity_per_flow
+
+if __name__ == "__main__":
+    from benchmarks.bench_util import run_cli
+
+    run_cli(globals())

@@ -1,24 +1,60 @@
 """Shared helpers for the benchmark harness.
 
 Every bench reproduces one table/figure-equivalent from the paper's
-evaluation (see DESIGN.md's experiment index).  Results are printed and
-also appended to ``benchmarks/results/<bench>.txt`` so the numbers that
-back EXPERIMENTS.md are regenerable.
+evaluation (see DESIGN.md's experiment index).  Results are printed,
+appended to ``benchmarks/results/<bench>.txt``, and emitted as schema-
+stable JSON (``repro.obs.export``) so the numbers that back
+EXPERIMENTS.md are regenerable and machine-readable:
+
+* under pytest, each :func:`report` call writes
+  ``benchmarks/results/BENCH_<name>.json`` (one document per table);
+* invoked directly (``python benchmarks/bench_X.py --json out.json
+  --seed N``), :func:`run_cli` runs every test in the module with a stub
+  ``benchmark`` fixture and writes one combined document.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
-from typing import Iterable, Sequence
+import sys
+from typing import Dict, Iterable, Optional, Sequence
+
+if __package__ in (None, ""):  # direct invocation: put repo root + src on the path
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    sys.path[:0] = [_ROOT, os.path.join(_ROOT, "src")]
 
 from repro.analysis.metrics import format_table
+from repro.obs.export import bench_document, bench_result, write_document
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: the combined document being assembled by run_cli (None under pytest)
+_document: Optional[Dict] = None
+#: seed requested via --seed / REPRO_BENCH_SEED (None = bench default)
+_seed_override: Optional[int] = None
 
-def report(name: str, title: str, headers: Sequence[str], rows: Iterable[Sequence[object]],
-           notes: str = "") -> str:
-    """Render, print, and persist one result table."""
+
+def current_seed(default: int = 0) -> int:
+    """The RNG seed benches should build their networks with."""
+    if _seed_override is not None:
+        return _seed_override
+    env = os.environ.get("REPRO_BENCH_SEED")
+    if env is not None:
+        return int(env)
+    return default
+
+
+def report(
+    name: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    notes: str = "",
+    telemetry: Optional[Dict] = None,
+) -> str:
+    """Render, print, and persist one result table (text + JSON)."""
+    rows = [list(row) for row in rows]
     table = format_table(headers, rows)
     text = f"== {title} ==\n{table}\n"
     if notes:
@@ -26,8 +62,27 @@ def report(name: str, title: str, headers: Sequence[str], rows: Iterable[Sequenc
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
         fh.write(text)
+
+    result = bench_result(
+        name, title,
+        headers=[str(h) for h in headers],
+        rows=[[_scalar(cell) for cell in row] for row in rows],
+        notes=notes,
+        telemetry=telemetry,
+    )
+    if _document is not None:
+        _document["results"].append(result)
+    doc = bench_document(name, title=title, seed=current_seed(), results=[result])
+    write_document(os.path.join(RESULTS_DIR, f"BENCH_{name}.json"), doc)
+
     print("\n" + text)
     return text
+
+
+def _scalar(cell):
+    if isinstance(cell, (int, float, str, bool)) or cell is None:
+        return cell
+    return str(cell)
 
 
 def fmt_ms(ns) -> str:
@@ -36,3 +91,71 @@ def fmt_ms(ns) -> str:
 
 def fmt_us(ns) -> str:
     return "-" if ns is None else f"{ns / 1e3:.2f}"
+
+
+class _StubBenchmark:
+    """Stands in for pytest-benchmark's fixture under run_cli."""
+
+    def pedantic(self, target, args=(), kwargs=None, rounds=1, iterations=1,
+                 warmup_rounds=0):
+        return target(*args, **(kwargs or {}))
+
+    def __call__(self, target, *args, **kwargs):
+        return target(*args, **kwargs)
+
+
+def run_cli(namespace: Dict, bench_id: Optional[str] = None) -> None:
+    """Entry point for ``python benchmarks/bench_X.py [--json F] [--seed N]``.
+
+    Runs every ``test_*`` function in ``namespace`` with a stub
+    ``benchmark`` fixture, accumulates their :func:`report` tables, and
+    optionally writes the combined schema-valid JSON document.
+    """
+    global _document, _seed_override
+
+    if bench_id is None:
+        bench_id = (
+            os.path.splitext(os.path.basename(namespace.get("__file__", "bench")))[0]
+            .replace("bench_", "")
+        )
+    doc = namespace.get("__doc__") or ""
+    title = doc.strip().splitlines()[0].strip() if doc.strip() else bench_id
+
+    parser = argparse.ArgumentParser(description=title)
+    parser.add_argument("--json", dest="json_path", metavar="PATH",
+                        help="write the combined results document here")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="RNG seed threaded into the benches")
+    parser.add_argument("--only", default=None, metavar="SUBSTR",
+                        help="run only tests whose name contains SUBSTR")
+    args = parser.parse_args()
+
+    if args.seed is not None:
+        _seed_override = args.seed
+    _document = bench_document(bench_id, title=title, seed=current_seed())
+
+    tests = [
+        (name, fn)
+        for name, fn in sorted(namespace.items())
+        if name.startswith("test_") and callable(fn)
+    ]
+    if args.only:
+        tests = [(n, f) for n, f in tests if args.only in n]
+    if not tests:
+        print("no tests selected", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    for name, fn in tests:
+        print(f"-- {name}")
+        try:
+            fn(_StubBenchmark())
+        except AssertionError as error:
+            failures.append(name)
+            print(f"FAILED {name}: {error}", file=sys.stderr)
+
+    if args.json_path:
+        write_document(args.json_path, _document)
+        print(f"wrote {args.json_path}")
+    _document = None
+    sys.exit(1 if failures else 0)

@@ -142,3 +142,76 @@ def diagnose(network, origin: int = 0) -> HealthReport:
                     Finding("warning", where, f"receive FIFO backed up ({backlog:.0f} bytes)")
                 )
     return report
+
+
+def telemetry_dashboard(network) -> str:
+    """Render ``network.telemetry()`` as an operator-facing text dashboard:
+    the health report's quantitative sibling.  Covers the forwarding-plane
+    counters, congestion residue (FIFO high-water, stop time), and the
+    per-epoch reconfiguration spans with their blackout intervals."""
+    snap = network.telemetry()
+    lines = [f"telemetry @ {snap['time_ns'] / 1e9:.3f}s "
+             f"({'enabled' if snap['enabled'] else 'DISABLED'})"]
+
+    lines.append("")
+    lines.append("  switch        fwd     disc   to-cp  resets  epochs(i/j)  term")
+    for name, sw in snap["switches"].items():
+        lines.append(
+            f"  {name:<12} {sw['packets_forwarded']:>6} {sw['packets_discarded']:>8} "
+            f"{sw['packets_to_cp']:>7} {sw['resets']:>7} "
+            f"{sw['epochs_initiated']:>5}/{sw['epochs_joined']:<5} "
+            f"{sw['terminations']:>4}"
+        )
+
+    port_rows = []
+    for name, sw in snap["switches"].items():
+        for p, port in sorted(sw["ports"].items()):
+            interesting = (
+                port["forwarded"] or port["dropped"]
+                or port["stop_ns"] or port["fifo_highwater_bytes"] > 0
+            )
+            if interesting:
+                drops = ",".join(f"{c}={n}" for c, n in sorted(port["dropped"].items()))
+                port_rows.append(
+                    f"  {name}.p{p:<3} fwd={port['forwarded']:<6} "
+                    f"ct/buf={port['cut_through']}/{port['buffered']:<5} "
+                    f"hw={port['fifo_highwater_bytes']:>6.0f}B "
+                    f"stop={port['stop_ns'] / 1e6:>8.2f}ms"
+                    + (f" drops[{drops}]" if drops else "")
+                )
+    if port_rows:
+        lines.append("")
+        lines.append("  port activity:")
+        lines.extend(port_rows)
+
+    holds = []
+    for name, sw in snap["switches"].items():
+        for p, skeptic in sorted(sw["skeptic_holds"].items()):
+            holds.append(
+                f"  {name}.p{p}: {skeptic['failures']} failures, "
+                f"holding {skeptic['hold_ns'] / 1e6:.0f} ms, "
+                f"needs {skeptic['probes_required']} good probes"
+            )
+    if holds:
+        lines.append("")
+        lines.append("  skeptic hold-downs:")
+        lines.extend(holds)
+
+    for span in snap.get("reconfigurations", []):
+        lines.append("")
+        header = f"  reconfiguration epoch {span['key']}:"
+        if span["duration_ns"] is not None:
+            header += f" {span['duration_ns'] / 1e6:.1f} ms"
+        else:
+            header += " (incomplete)"
+        if span.get("max_blackout_ns") is not None:
+            header += f", worst switch blackout {span['max_blackout_ns'] / 1e6:.1f} ms"
+        lines.append(header)
+        for ev in span["events"]:
+            who = f" [{ev['component']}]" if ev.get("component") else ""
+            lines.append(f"    {ev['t_ns'] / 1e6:>10.2f} ms  {ev['event']}{who}")
+    unclosed = snap.get("unclosed_spans", 0)
+    if unclosed:
+        lines.append("")
+        lines.append(f"  WARNING: {unclosed} reconfiguration span(s) never closed")
+    return "\n".join(lines)

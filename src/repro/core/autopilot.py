@@ -146,6 +146,10 @@ class Autopilot:
 
         #: hooks for the Network facade / experiments
         self.on_configured_hook: Optional[Callable[[int, TopologyMap], None]] = None
+        #: structured telemetry feed (repro.obs.spans.ReconfigTracer):
+        #: fn(time_ns, switch_name, event, attrs).  None = tracing off,
+        #: which costs one attribute test per control-plane transition.
+        self.on_obs_event: Optional[Callable[[int, str, str, Dict], None]] = None
 
         self._periodics: List[Periodic] = [
             self.scheduler.every(
@@ -320,6 +324,11 @@ class Autopilot:
     def log(self, event: str, detail: str = "") -> None:
         self.trace.log(self.sim.now, event, detail)
 
+    def obs_event(self, event: str, **attrs) -> None:
+        """Emit one structured telemetry event (no-op when untraced)."""
+        if self.on_obs_event is not None:
+            self.on_obs_event(self.sim.now, self.switch.name, event, attrs)
+
     def good_ports(self):
         return self.monitoring.good_ports()
 
@@ -333,6 +342,7 @@ class Autopilot:
         if not self.alive:
             return
         self.log("reconfig-trigger", reason)
+        self.obs_event("trigger", reason=reason, port=down_port)
         if down_port is not None and self.engine.try_local_link_down(down_port):
             return  # handled without a new epoch (section 7 extension)
         self.engine.initiate(reason)

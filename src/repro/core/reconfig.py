@@ -170,6 +170,7 @@ class ReconfigEngine:
         self.epoch = epoch
         self.epoch_started_at = self.ap.sim.now
         self.ap.log("epoch-start", f"epoch={epoch} ({reason})")
+        self.ap.obs_event("epoch-start", epoch=epoch, reason=reason)
         self._cancel_all_pending()
         self.position = TreePosition.as_root(self.ap.uid)
         self.pos_seq += 1  # sequence numbers stay unique across epochs
@@ -195,6 +196,7 @@ class ReconfigEngine:
     def _config_timed_out(self, epoch: int) -> None:
         if epoch == self.epoch and not self.configured:
             self.ap.log("config-timeout", f"epoch={epoch}")
+            self.ap.obs_event("config-timeout", epoch=epoch)
             self.initiate("configuration timeout")
 
     # -- reliable one-hop delivery ---------------------------------------------------------
@@ -283,10 +285,35 @@ class ReconfigEngine:
                 "position",
                 f"root={best.root} level={best.level} parent_port={best.parent_port}",
             )
+            if (
+                self.configured
+                and self.topology is not None
+                and best.root != self.topology.root
+            ):
+                # The root changed under an adopted configuration: the
+                # configuration came from a false root -- a switch whose
+                # local stability test passed before news of a better root
+                # reached it (possible on high-diameter topologies).  Drop
+                # the stale configuration and rejoin the election, else the
+                # true root waits forever for our stable report and every
+                # epoch times out the same way.
+                self._unconfigure("root changed after configuration")
             self._send_position_everywhere()
             self._schedule_quiet_check()
             return True
         return False
+
+    def _unconfigure(self, reason: str) -> None:
+        """Drop a configuration adopted earlier in the current epoch."""
+        self.configured = False
+        self.table_loaded = False
+        self.topology = None
+        self._last_stable_sent = None
+        self._cancel_all_pending(ConfigMsg)
+        self.ap.log("unconfigure", reason)
+        self.ap.obs_event("unconfigure", epoch=self.epoch, reason=reason)
+        self.ap.clear_forwarding(reset=self.params.reset_on_load)
+        self._arm_config_deadline()
 
     # -- local reconfiguration (section 7 future work) -----------------------------------
 
@@ -506,6 +533,9 @@ class ReconfigEngine:
             # TERMINATION: the root's unstable->stable transition (§4.1)
             self.terminations += 1
             self.ap.log("termination", f"epoch={self.epoch} switches={len(merged.switches)}")
+            self.ap.obs_event(
+                "termination", epoch=self.epoch, switches=len(merged.switches)
+            )
             self._assign_and_distribute(merged)
             return
         signature = (
@@ -543,6 +573,8 @@ class ReconfigEngine:
         def finish() -> None:
             if epoch != self.epoch or self.configured:
                 return  # superseded while computing the assignment
+            if self.position.root != self.ap.uid:
+                return  # no longer the root: our termination was premature
             topology.numbers = assign_switch_numbers(topology.switches)
             self._adopt_configuration(epoch, topology)
 
@@ -553,6 +585,13 @@ class ReconfigEngine:
         if self.configured:
             return
         if msg.topology is None or self.ap.uid not in msg.topology.switches:
+            return
+        if msg.topology.root > self.position.root:
+            # A configuration rooted at a worse UID than the root we already
+            # know is stale: typically a false root's retransmission arriving
+            # after we moved to the true root (its CPU was busy computing
+            # tables when our ack arrived, so the retx timer won the race).
+            self.ap.log("config-rejected", f"root={msg.topology.root}")
             return
         self._adopt_configuration(msg.epoch, msg.topology)
 
@@ -573,7 +612,7 @@ class ReconfigEngine:
 
         # step 5: compute and load our own forwarding table
         def compute_and_load() -> None:
-            if epoch != self.epoch:
+            if epoch != self.epoch or not self.configured:
                 return  # superseded while computing
             entries = build_forwarding_entries(
                 topology, self.ap.uid, my_host_ports=frozenset(self.ap.host_ports())
@@ -585,6 +624,10 @@ class ReconfigEngine:
                 "configured",
                 f"epoch={epoch} number={self.my_number} "
                 f"switches={len(topology.switches)}",
+            )
+            self.ap.obs_event(
+                "table-loaded", epoch=epoch, number=self.my_number,
+                switches=len(topology.switches),
             )
             self.ap.on_configured(epoch, topology)
 

@@ -144,6 +144,10 @@ class ReceiveFifo:
         self.packets_seen: int = 0
         self.max_level: float = 0.0
         self.overflowed = False
+        #: drains that began while the packet was still arriving (§3.5)
+        self.cut_through_packets: int = 0
+        #: drains that began only after the whole packet was buffered
+        self.buffered_packets: int = 0
 
     # -- public queries ---------------------------------------------------------
 
@@ -284,6 +288,10 @@ class ReceiveFifo:
         if head is not None and head.targets is not None:
             if new_rate > 0 and not head.drain_started:
                 head.drain_started = True
+                if head.arriving:
+                    self.cut_through_packets += 1
+                else:
+                    self.buffered_packets += 1
                 for target in head.targets:
                     target.notify_begin(head.packet, head.broadcast)
             if head.drain_started and abs(new_rate - self.drain_rate) > _EPS:

@@ -75,6 +75,12 @@ class LinkUnit(Endpoint):
         #: invoked when a panic directive arrives (wired by the switch)
         self.on_panic: Optional[Callable[[], None]] = None
         self.misdirected_discards = 0
+        #: packets lost to receive-FIFO overflow on this port
+        self.overflow_drops = 0
+        # cumulative time the far end's stop directive gated this
+        # transmitter (the paper's congestion signature, section 6.2)
+        self._stop_time_ns = 0
+        self._stopped_since: Optional[int] = None
 
         self._overflow_flag = False
         self._underflow_flag = False
@@ -190,8 +196,21 @@ class LinkUnit(Endpoint):
             self.fc_sender.set_level_directive(directive)
 
     def _fc_changed(self, directive: Directive) -> None:
+        allowed = self.fc_receiver.transmission_allowed
+        if not allowed and self._stopped_since is None:
+            self._stopped_since = self.sim.now
+        elif allowed and self._stopped_since is not None:
+            self._stop_time_ns += self.sim.now - self._stopped_since
+            self._stopped_since = None
         # re-gate any drain this port's transmitter is serving
         self.fifo_of_current_drain_recompute()
+
+    def cumulative_stop_ns(self, now: Optional[int] = None) -> int:
+        """Total time transmission on this port has been stop-gated."""
+        total = self._stop_time_ns
+        if self._stopped_since is not None:
+            total += (self.sim.now if now is None else now) - self._stopped_since
+        return total
 
     def fifo_of_current_drain_recompute(self) -> None:
         """Ask the FIFO currently draining through this transmitter to
@@ -229,6 +248,7 @@ class LinkUnit(Endpoint):
 
     def _note_overflow(self, packet: Optional[Packet]) -> None:
         self._overflow_flag = True
+        self.overflow_drops += 1
         self.fifo.overflowed = False  # re-arm detection
 
     def _note_underflow(self, packet: Packet) -> None:

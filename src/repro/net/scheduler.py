@@ -30,7 +30,7 @@ from repro.sim.engine import EventHandle, Simulator
 class Request:
     """A forwarding request from one input port's head packet."""
 
-    __slots__ = ("in_port", "entry", "packet", "captured")
+    __slots__ = ("in_port", "entry", "packet", "captured", "queued_at")
 
     def __init__(self, in_port: int, entry: ForwardingEntry, packet: Packet) -> None:
         self.in_port = in_port
@@ -38,6 +38,8 @@ class Request:
         self.packet = packet
         #: ports already reserved for a simultaneous (broadcast) request
         self.captured: Set[int] = set()
+        #: set when the request enters the engine's queue
+        self.queued_at = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "bcast" if self.entry.broadcast else "alt"
@@ -68,10 +70,13 @@ class SchedulingEngine:
         self._busy_until = 0
         self._scan_event: Optional[EventHandle] = None
         self.grants = 0
+        #: optional repro.obs histogram of grant waits (ns); None = off
+        self.wait_hist = None
 
     # -- external interface ------------------------------------------------------------
 
     def add_request(self, request: Request) -> None:
+        request.queued_at = self.sim.now
         self.queue.append(request)
         self._kick()
 
@@ -149,5 +154,7 @@ class SchedulingEngine:
             self.port_busy[port] = True
         self._busy_until = self.sim.now + self.decision_ns
         self.grants += 1
+        if self.wait_hist is not None:
+            self.wait_hist.observe(self.sim.now - request.queued_at)
         self.grant(request, ports)
         self._kick()

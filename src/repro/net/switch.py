@@ -135,6 +135,18 @@ class Switch:
         self.packets_discarded = 0
         self.packets_to_cp = 0
         self.resets = 0
+        #: input port -> packets granted output (0 = control processor)
+        self.port_forwarded: Dict[int, int] = {}
+        #: input port -> packets that fully left its FIFO
+        self.port_drained: Dict[int, int] = {}
+        #: drop cause -> {input port -> count}; causes: "table-discard"
+        #: (the forwarding entry said discard), "isolated" (port taken out
+        #: of service mid-packet), "reset" (table load destroyed it)
+        self.port_dropped: Dict[str, Dict[int, int]] = {}
+
+    def _drop(self, cause: str, in_port: int, count: int = 1) -> None:
+        per_port = self.port_dropped.setdefault(cause, {})
+        per_port[in_port] = per_port.get(in_port, 0) + count
 
     # -- port-0 (control processor) interface ----------------------------------------------
 
@@ -167,6 +179,7 @@ class Switch:
         entry = self.table.lookup(in_port, packet.dest_short)
         if entry.is_discard:
             self.packets_discarded += 1
+            self._drop("table-discard", in_port)
             packet.record_hop(self.name, in_port, ())
             self._fifo_for(in_port).connect_drain([self.discard_sink], broadcast=False)
             return
@@ -185,10 +198,14 @@ class Switch:
         self.crossbar.connect(request.in_port, ports)
         request.packet.record_hop(self.name, request.in_port, ports)
         self.packets_forwarded += 1
+        self.port_forwarded[request.in_port] = (
+            self.port_forwarded.get(request.in_port, 0) + 1
+        )
         fifo.connect_drain(targets, broadcast=request.entry.broadcast)
 
     def _packet_drained(self, in_port: int, packet: Packet) -> None:
         """The head packet has fully left ``in_port``'s FIFO."""
+        self.port_drained[in_port] = self.port_drained.get(in_port, 0) + 1
 
     def _make_panic_hook(self, port: int) -> Callable[[], None]:
         def hook() -> None:
@@ -220,6 +237,8 @@ class Switch:
         port could wedge the outputs a granted broadcast had captured.
         """
         unit = self.ports[in_port]
+        if unit.fifo.queue:
+            self._drop("isolated", in_port, len(unit.fifo.queue))
         head = unit.fifo.head
         if head is not None and head.targets:
             packet = head.packet
@@ -247,6 +266,8 @@ class Switch:
         """Destroy all packets in the switch (FIFO clears, abort drains)."""
         self.resets += 1
         for port, unit in self.ports.items():
+            if unit.fifo.queue:
+                self._drop("reset", port, len(unit.fifo.queue))
             # abort any in-flight transmission: the truncated packet gets a
             # forced end marker and arrives corrupted downstream
             if unit.tx.current is not None:

@@ -22,6 +22,7 @@ from repro.host.controller import HostController
 from repro.host.driver import AutonetDriver
 from repro.net.link import Link, LinkState, connect
 from repro.net.switch import Switch
+from repro.obs.spans import ReconfigTracer
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import MergedLog
@@ -57,6 +58,7 @@ class Network:
         direction_tagged_links: bool = False,
         sim: Optional[Simulator] = None,
         name: str = "",
+        telemetry: bool = True,
     ) -> None:
         self.spec = spec
         #: pass a shared simulator to co-simulate several Autonets (for
@@ -65,6 +67,14 @@ class Network:
         self.name = name
         self.rng = RngRegistry(seed)
         self.params_factory = params_factory or (lambda _i: AutopilotParams())
+        #: repro.obs wiring: metrics registry on the simulator plus a
+        #: per-epoch reconfiguration tracer.  telemetry=False leaves the
+        #: registry disabled and every obs hook unset -- the hot paths then
+        #: pay only their plain integer statistics.
+        self.telemetry_enabled = telemetry
+        self.tracer = ReconfigTracer() if telemetry else None
+        if telemetry:
+            self.sim.enable_metrics()
 
         self.switches: List[Switch] = []
         self.autopilots: List[Autopilot] = []
@@ -72,6 +82,8 @@ class Network:
         self.hosts: Dict[str, HostController] = {}
         self.drivers: Dict[str, AutonetDriver] = {}
         self._host_links: Dict[Tuple[str, int], Link] = {}
+        #: host name -> switch indices it attaches to (blackout accounting)
+        self._host_attachments: Dict[str, List[int]] = {}
         self.merged_log = MergedLog()
         self.epochs: Dict[int, EpochRecord] = {}
 
@@ -93,6 +105,7 @@ class Network:
             self.autopilots.append(autopilot)
             self.merged_log.attach(autopilot.trace)
             self._install_code_hook(i)
+            self._install_telemetry(i)
 
         for a, pa, b, pb in spec.cables:
             link = connect(
@@ -122,6 +135,119 @@ class Network:
                     record.started_at = earliest
 
         return hook
+
+    # -- telemetry (repro.obs) ---------------------------------------------------------------
+
+    def _install_telemetry(self, index: int) -> None:
+        """Wire one switch (or its rebuilt Autopilot) into the obs layer."""
+        if not self.telemetry_enabled:
+            return
+        autopilot = self.autopilots[index]
+        autopilot.on_obs_event = self.tracer.switch_event
+        switch = self.switches[index]
+        # grant-wait latency through the scheduling engine, per switch
+        switch.engine.wait_hist = self.sim.metrics.histogram(
+            "scheduler_wait_ns", switch=switch.name
+        )
+
+    def telemetry(self) -> Dict:
+        """One structured snapshot of everything the installation knows
+        about itself: registry series, per-switch/per-port counters, and
+        per-epoch reconfiguration spans with blackout intervals."""
+        now = self.sim.now
+        switches = {}
+        for i, switch in enumerate(self.switches):
+            ap = self.autopilots[i]
+            ports = {}
+            for p, unit in switch.ports.items():
+                if not unit.connected:
+                    continue
+                dropped = {
+                    cause: per_port[p]
+                    for cause, per_port in switch.port_dropped.items()
+                    if per_port.get(p)
+                }
+                if unit.overflow_drops:
+                    dropped["overflow"] = unit.overflow_drops
+                if unit.misdirected_discards:
+                    dropped["misdirected"] = unit.misdirected_discards
+                ports[p] = {
+                    "forwarded": switch.port_forwarded.get(p, 0),
+                    "drained": switch.port_drained.get(p, 0),
+                    "dropped": dropped,
+                    "fifo_highwater_bytes": unit.fifo.max_level,
+                    "cut_through": unit.fifo.cut_through_packets,
+                    "buffered": unit.fifo.buffered_packets,
+                    "stop_ns": unit.cumulative_stop_ns(now),
+                }
+            skeptics = {}
+            for p, monitor in ap.monitoring.ports.items():
+                if (
+                    monitor.status_skeptic.failures
+                    or monitor.conn_skeptic.required
+                    > monitor.conn_skeptic.base_required
+                ):
+                    skeptics[p] = {
+                        "failures": monitor.status_skeptic.failures,
+                        "hold_ns": monitor.status_skeptic.hold_ns,
+                        "probes_required": monitor.conn_skeptic.required,
+                    }
+            switches[switch.name] = {
+                "packets_forwarded": switch.packets_forwarded,
+                "packets_discarded": switch.packets_discarded,
+                "packets_to_cp": switch.packets_to_cp,
+                "resets": switch.resets,
+                "cp_packets_handled": ap.packets_handled,
+                "cp_crc_errors": ap.crc_errors,
+                "epochs_initiated": ap.engine.epochs_initiated,
+                "epochs_joined": ap.engine.epochs_joined,
+                "terminations": ap.engine.terminations,
+                "configured": ap.configured and ap.engine.table_loaded,
+                "ports": ports,
+                "skeptic_holds": skeptics,
+            }
+        out = {
+            "time_ns": now,
+            "enabled": self.telemetry_enabled,
+            "metrics": self.sim.metrics.snapshot(),
+            "switches": switches,
+        }
+        if self.tracer is not None:
+            out["reconfigurations"] = self.tracer.span_summary()
+            out["unclosed_spans"] = len(self.tracer.unclosed())
+            out["host_blackouts"] = {
+                epoch: self.host_blackouts(epoch)
+                for epoch in self.tracer.epochs()
+            }
+        return out
+
+    def host_blackouts(self, epoch: int) -> Dict[str, Optional[int]]:
+        """Per-host blackout for one epoch: the interval during which
+        *every* switch the host attaches to was closed (dual-homed hosts
+        lose service only while both attachment switches are down)."""
+        if self.tracer is None:
+            return {}
+        prefix = f"{self.name}." if self.name else ""
+        by_switch = self.tracer.blackouts(epoch)
+        out: Dict[str, Optional[int]] = {}
+        for host, attachments in self._host_attachments.items():
+            windows = []
+            for index in attachments:
+                entry = by_switch.get(f"{prefix}sw{index}")
+                if entry is None:
+                    windows.append(None)  # this switch never went dark
+                else:
+                    windows.append((entry["closed_ns"], entry["reopened_ns"]))
+            if any(w is None for w in windows):
+                out[host] = 0  # one attachment stayed up throughout
+                continue
+            if any(w[1] is None for w in windows):
+                out[host] = None  # still dark: blackout not over yet
+                continue
+            start = max(w[0] for w in windows)
+            end = min(w[1] for w in windows)
+            out[host] = max(0, end - start)
+        return out
 
     # -- hosts -----------------------------------------------------------------------------
 
@@ -153,6 +279,7 @@ class Network:
                 name=f"{name}.{port_index}--sw{sw}.p{port}",
             )
             self._host_links[(name, port_index)] = link
+        self._host_attachments[name] = [sw for sw, _port in attachments]
         self.hosts[name] = controller
         if with_driver:
             self.drivers[name] = AutonetDriver(controller)
@@ -286,6 +413,7 @@ class Network:
         self.autopilots[index] = autopilot
         self.merged_log.attach(autopilot.trace)
         self._install_code_hook(index)
+        self._install_telemetry(index)
 
     # -- Autopilot releases (section 5.4 / the section 7 anecdote) -----------------------
 
@@ -340,6 +468,7 @@ class Network:
             self.autopilots[index] = autopilot
             self.merged_log.attach(autopilot.trace)
             self._install_code_hook(index)
+            self._install_telemetry(index)
 
             def offer(port: int) -> None:
                 if not autopilot.alive:

@@ -1,0 +1,51 @@
+"""repro.obs -- the simulation-wide telemetry layer.
+
+Three pieces, built for the debugging story of section 6.7 and the
+bench-trajectory needs of ROADMAP.md:
+
+* :mod:`repro.obs.registry` -- a metrics registry (counters, gauges,
+  histograms, high-water marks) with per-component labels and near-zero
+  overhead when disabled.  Hot paths keep plain integer attributes and the
+  registry *collects* them lazily at snapshot time, so the data plane pays
+  nothing per packet for observability.
+* :mod:`repro.obs.spans` -- span-style reconfiguration tracing: the §6.7
+  merged log turned into structured spans (trigger -> epoch start -> tree
+  stable -> topology at root -> tables loaded -> reopen) with per-switch
+  and per-host blackout intervals.
+* :mod:`repro.obs.export` -- the stable JSON schema every benchmark emits
+  through ``benchmarks/bench_util.py``, so runs are machine-readable.
+"""
+
+from repro.obs.export import (
+    SCHEMA,
+    bench_document,
+    bench_result,
+    validate_document,
+    write_document,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    HighWater,
+    MetricsRegistry,
+    NULL_COUNTER,
+)
+from repro.obs.spans import ReconfigTracer, Span, SpanTracer
+
+__all__ = [
+    "SCHEMA",
+    "bench_document",
+    "bench_result",
+    "validate_document",
+    "write_document",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HighWater",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "ReconfigTracer",
+    "Span",
+    "SpanTracer",
+]

@@ -1,0 +1,317 @@
+"""The metrics registry: counters, gauges, histograms, high-water marks.
+
+Design constraints (see ISSUE 1 and the in-band-telemetry shape of the
+related P4/MRI work):
+
+* **Labels.**  Every instrument carries a ``(name, labels)`` identity, so
+  one logical metric ("packets forwarded") fans out into one series per
+  switch/port/cause without the callers inventing name suffixes.
+* **Near-zero overhead when disabled.**  A disabled registry hands out
+  shared null instruments whose mutators are no-ops and allocates no
+  series.  Hot paths capture instrument references once, at component
+  init, so the steady-state cost of a disabled metric is a single no-op
+  method call -- and components that already keep plain integer statistics
+  can instead register a *collector*, sampled only at snapshot time, which
+  costs literally nothing on the hot path.
+* **Bounded cardinality.**  A per-name series cap guards against label
+  explosions; overflowing series are dropped and counted rather than
+  silently growing without bound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Dict[str, Any]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot_value(self) -> Any:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Dict[str, Any]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def snapshot_value(self) -> Any:
+        return self.value
+
+
+class HighWater:
+    """Remembers the largest value ever observed."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "highwater"
+
+    def __init__(self, name: str, labels: Dict[str, Any]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def observe(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+    def snapshot_value(self) -> Any:
+        return self.value
+
+
+#: default histogram bucket upper bounds, in the unit of the observation
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9,
+)
+
+
+class Histogram:
+    """Cumulative-bucket histogram plus count/sum/min/max."""
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Dict[str, Any],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +overflow
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot_value(self) -> Any:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                **{str(b): c for b, c in zip(self.bounds, self.bucket_counts)},
+                "+Inf": self.bucket_counts[-1],
+            },
+        }
+
+
+class _NullInstrument:
+    """Shared no-op instrument handed out by a disabled registry."""
+
+    __slots__ = ()
+    name = ""
+    labels: Dict[str, Any] = {}
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+    kind = "null"
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot_value(self) -> Any:
+        return None
+
+
+NULL_COUNTER = _NullInstrument()
+#: all instrument kinds share one null implementation
+NULL_GAUGE = NULL_COUNTER
+NULL_HISTOGRAM = NULL_COUNTER
+NULL_HIGHWATER = NULL_COUNTER
+
+
+class MetricsRegistry:
+    """Series store keyed by ``(name, labels)`` plus lazy collectors."""
+
+    def __init__(self, enabled: bool = True, max_series_per_name: int = 8192) -> None:
+        self.enabled = enabled
+        self.max_series_per_name = max_series_per_name
+        self._series: Dict[str, Dict[LabelKey, Any]] = {}
+        #: (name, labels, fn) triples sampled only at snapshot time
+        self._collectors: List[Tuple[str, Dict[str, Any], Callable[[], Any]]] = []
+        #: series refused because a name hit the cardinality cap
+        self.dropped_series = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording.  Instruments already handed out keep working
+        (they are plain objects); new requests return null instruments and
+        snapshots report nothing."""
+        self.enabled = False
+
+    # -- instrument factories -----------------------------------------------------
+
+    def _get(self, factory, null, name: str, labels: Dict[str, Any], **kwargs):
+        if not self.enabled:
+            return null
+        per_name = self._series.setdefault(name, {})
+        key = _label_key(labels)
+        instrument = per_name.get(key)
+        if instrument is None:
+            if len(per_name) >= self.max_series_per_name:
+                self.dropped_series += 1
+                return null
+            instrument = factory(name, labels, **kwargs)
+            per_name[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, NULL_COUNTER, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, NULL_GAUGE, name, labels)
+
+    def highwater(self, name: str, **labels: Any) -> HighWater:
+        return self._get(HighWater, NULL_HIGHWATER, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS, **labels: Any
+    ) -> Histogram:
+        return self._get(Histogram, NULL_HISTOGRAM, name, labels, buckets=buckets)
+
+    def collect(self, name: str, fn: Callable[[], Any], **labels: Any) -> None:
+        """Register a zero-hot-path-cost series: ``fn`` is called only when
+        a snapshot is taken and should return a number (or None to skip)."""
+        if not self.enabled:
+            return
+        self._collectors.append((name, labels, fn))
+
+    # -- queries ---------------------------------------------------------------------
+
+    def value(self, name: str, **labels: Any) -> Any:
+        """Current value of one series (None when absent)."""
+        per_name = self._series.get(name)
+        if per_name is not None:
+            instrument = per_name.get(_label_key(labels))
+            if instrument is not None:
+                return instrument.snapshot_value()
+        key = _label_key(labels)
+        for cname, clabels, fn in self._collectors:
+            if cname == name and _label_key(clabels) == key:
+                return fn()
+        return None
+
+    def series_count(self, name: Optional[str] = None) -> int:
+        if name is not None:
+            return len(self._series.get(name, {}))
+        return sum(len(v) for v in self._series.values())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All series, collectors included, as a JSON-ready dict."""
+        out: Dict[str, Any] = {
+            "enabled": self.enabled,
+            "dropped_series": self.dropped_series,
+            "series": {},
+        }
+        if not self.enabled:
+            return out
+        series = out["series"]
+        for name in sorted(self._series):
+            rows = []
+            for key in sorted(self._series[name], key=repr):
+                instrument = self._series[name][key]
+                rows.append(
+                    {
+                        "labels": {k: _jsonable(v) for k, v in key},
+                        "type": instrument.kind,
+                        "value": instrument.snapshot_value(),
+                    }
+                )
+            series[name] = rows
+        for name, labels, fn in self._collectors:
+            value = fn()
+            if value is None:
+                continue
+            series.setdefault(name, []).append(
+                {
+                    "labels": {k: _jsonable(v) for k, v in _label_key(labels)},
+                    "type": "collected",
+                    "value": _jsonable(value),
+                }
+            )
+        return out
+
+    def total(self, name: str) -> float:
+        """Sum a numeric series across all labels (collectors included)."""
+        result = 0.0
+        for instrument in self._series.get(name, {}).values():
+            value = instrument.snapshot_value()
+            if isinstance(value, (int, float)):
+                result += value
+        for cname, _labels, fn in self._collectors:
+            if cname == name:
+                value = fn()
+                if isinstance(value, (int, float)):
+                    result += value
+        return result
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)

@@ -16,6 +16,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
+from repro.obs.registry import MetricsRegistry
+
 
 class EventHandle:
     """Cancellable reference to a scheduled event."""
@@ -55,6 +57,23 @@ class Simulator:
         self._idle_hooks: List[Callable[["Simulator"], None]] = []
         #: number of events dispatched so far (useful for budget guards)
         self.events_dispatched: int = 0
+        #: simulation-wide metrics registry (repro.obs).  Disabled by
+        #: default: the event loop itself stays free of per-event
+        #: instrument calls; enable_metrics() registers snapshot-time
+        #: collectors over the counters the loop keeps anyway.
+        self.metrics = MetricsRegistry(enabled=False)
+        self._metrics_registered = False
+
+    def enable_metrics(self) -> None:
+        """Turn on telemetry and publish the engine's own series."""
+        self.metrics.enable()
+        if not self._metrics_registered:
+            self._metrics_registered = True
+            self.metrics.collect(
+                "sim_events_dispatched", lambda: self.events_dispatched
+            )
+            self.metrics.collect("sim_pending_events", self.pending_events)
+            self.metrics.collect("sim_now_ns", lambda: self.now)
 
     # -- scheduling ------------------------------------------------------------
 

@@ -64,6 +64,9 @@ class StubAp:
     def log(self, event, detail=""):
         pass
 
+    def obs_event(self, event, **attrs):
+        pass
+
     def on_configured(self, epoch, topology):
         self.configured_events.append(epoch)
 

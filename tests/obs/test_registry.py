@@ -1,0 +1,129 @@
+"""Semantics of the repro.obs metrics registry."""
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    _NullInstrument,
+)
+
+
+def test_counter_semantics():
+    reg = MetricsRegistry()
+    c = reg.counter("packets", switch="sw0", port=1)
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    assert reg.value("packets", switch="sw0", port=1) == 5
+    # label order must not matter: same series either way
+    assert reg.counter("packets", port=1, switch="sw0") is c
+
+
+def test_gauge_and_highwater_semantics():
+    reg = MetricsRegistry()
+    g = reg.gauge("queue_depth", switch="sw0")
+    g.set(7)
+    g.add(-3)
+    assert g.value == 4
+    hw = reg.highwater("fifo_level", switch="sw0")
+    hw.observe(10)
+    hw.observe(3)       # lower: ignored
+    hw.observe(42)
+    assert hw.value == 42
+
+
+def test_histogram_buckets_and_moments():
+    reg = MetricsRegistry()
+    h = reg.histogram("wait_ns", buckets=(10, 100, 1000), switch="sw0")
+    for v in (5, 50, 500, 5000):
+        h.observe(v)
+    snap = h.snapshot_value()
+    assert snap["count"] == 4
+    assert snap["sum"] == 5555
+    assert snap["min"] == 5 and snap["max"] == 5000
+    assert snap["mean"] == pytest.approx(5555 / 4)
+    assert snap["buckets"] == {"10": 1, "100": 1, "1000": 1, "+Inf": 1}
+
+
+def test_distinct_labels_are_distinct_series():
+    reg = MetricsRegistry()
+    reg.counter("drops", port=1).inc(2)
+    reg.counter("drops", port=2).inc(3)
+    assert reg.series_count("drops") == 2
+    assert reg.total("drops") == 5
+
+
+def test_cardinality_cap_drops_and_counts():
+    reg = MetricsRegistry(max_series_per_name=3)
+    instruments = [reg.counter("c", i=i) for i in range(5)]
+    assert reg.series_count("c") == 3
+    assert reg.dropped_series == 2
+    # the overflow instruments are the shared null, so writes are no-ops
+    for extra in instruments[3:]:
+        assert isinstance(extra, _NullInstrument)
+        extra.inc(100)
+    assert reg.total("c") == 0
+
+
+def test_disabled_registry_is_a_noop():
+    reg = MetricsRegistry(enabled=False)
+    c = reg.counter("x", a=1)
+    assert c is NULL_COUNTER
+    c.inc(10)
+    reg.gauge("g").set(5)
+    reg.histogram("h").observe(1)
+    reg.highwater("hw").observe(1)
+    reg.collect("lazy", lambda: 42)
+    assert reg.series_count() == 0
+    snap = reg.snapshot()
+    assert snap == {"enabled": False, "dropped_series": 0, "series": {}}
+
+
+def test_disable_then_enable():
+    reg = MetricsRegistry()
+    reg.counter("a").inc()
+    reg.disable()
+    assert isinstance(reg.counter("b"), _NullInstrument)
+    reg.enable()
+    reg.counter("b").inc(2)
+    assert reg.value("a") == 1
+    assert reg.value("b") == 2
+
+
+def test_collectors_sampled_only_at_snapshot():
+    reg = MetricsRegistry()
+    calls = {"n": 0}
+
+    def sample():
+        calls["n"] += 1
+        return calls["n"]
+
+    reg.collect("lazy_series", sample, switch="sw0")
+    assert calls["n"] == 0  # registering costs nothing
+    snap = reg.snapshot()
+    assert calls["n"] == 1
+    [row] = snap["series"]["lazy_series"]
+    assert row == {"labels": {"switch": "sw0"}, "type": "collected", "value": 1}
+    # collectors returning None are skipped entirely
+    reg.collect("absent", lambda: None)
+    assert "absent" not in reg.snapshot()["series"]
+
+
+def test_snapshot_is_json_ready():
+    import json
+
+    reg = MetricsRegistry()
+    reg.counter("c", switch="sw0", obj=object()).inc()
+    reg.histogram("h", buckets=(1,)).observe(2)
+    text = json.dumps(reg.snapshot())
+    assert "sw0" in text
+
+
+def test_total_ignores_non_numeric_series():
+    reg = MetricsRegistry()
+    reg.counter("n", k=1).inc(2)
+    reg.histogram("n", k=2).observe(9)  # dict-valued: not summed
+    assert reg.total("n") == 2
