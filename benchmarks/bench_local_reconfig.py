@@ -59,7 +59,7 @@ def run_variant(enable_local: bool):
     topo = net.topology()
     cross_links = sorted(
         topo.links - tree_only_topology(topo).links,
-        key=lambda l: (str(l.a.uid), l.a.port),
+        key=lambda ln: (str(ln.a.uid), ln.a.port),
     )
     victim = cross_links[len(cross_links) // 2]
     a = next(i for i, s in enumerate(net.switches) if s.uid == victim.a.uid)
@@ -137,7 +137,7 @@ def test_local_reconfig_correctness_spotcheck(benchmark):
         topo = net.topology()
         cross = sorted(
             topo.links - tree_only_topology(topo).links,
-            key=lambda l: (str(l.a.uid), l.a.port),
+            key=lambda ln: (str(ln.a.uid), ln.a.port),
         )[0]
         a = next(i for i, s in enumerate(net.switches) if s.uid == cross.a.uid)
         b = next(i for i, s in enumerate(net.switches) if s.uid == cross.b.uid)

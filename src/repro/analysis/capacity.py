@@ -113,7 +113,7 @@ def analyze_capacity(
         link for link in topology.links
         if topology.root in (link.a.uid, link.b.uid)
     }
-    root_traffic = sum(link_loads[l] for l in root_links if l in link_loads)
+    root_traffic = sum(link_loads[ln] for ln in root_links if ln in link_loads)
 
     return CapacityReport(
         n_switches=len(uids),

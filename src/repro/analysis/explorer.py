@@ -15,7 +15,6 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.constants import SEC
 from repro.core.messages import SrpMessage
 from repro.core.topo import NetLink, PortRef, SwitchRecord, TopologyMap
 from repro.core.treepos import TreePosition

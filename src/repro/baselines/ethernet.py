@@ -13,9 +13,8 @@ CSMA/CD bit-level model.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional, Tuple
 
-from repro.constants import US
 from repro.sim.engine import Simulator
 from repro.types import Uid
 

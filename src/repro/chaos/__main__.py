@@ -1,0 +1,160 @@
+"""CLI for chaos campaigns.
+
+.. code-block:: console
+
+    # the CI smoke gate
+    python -m repro.chaos --schedules 50 --topology torus-3x4 --seed 0
+
+    # write the bench document and shrunk reproducers for any failures
+    python -m repro.chaos --schedules 1000 --topology src-lan-30 \\
+        --json campaign.json --artifact-dir chaos-artifacts
+
+    # re-run a reproducer somebody attached to a bug report
+    python -m repro.chaos --replay chaos-artifacts/schedule-0007.json
+
+Exit status is 0 when every schedule passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.analysis.doctor import campaign_report
+from repro.chaos.campaign import CampaignConfig, CampaignRunner
+from repro.chaos.replay import reproducer_dict, write_artifact
+from repro.chaos.schedule import SampleParams
+from repro.chaos.shrink import shrink_schedule
+from repro.obs.export import write_document
+
+#: how many failures the CLI will shrink before giving up (each shrink
+#: re-runs the schedule tens of times)
+MAX_SHRINKS = 5
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Run seeded fault-schedule campaigns against the "
+        "reconfiguration protocol and check the paper's invariants.",
+    )
+    parser.add_argument(
+        "--schedules", type=int, default=50, help="number of schedules to sample (default 50)"
+    )
+    parser.add_argument(
+        "--topology", default="torus-3x4", help="topology name, e.g. torus-3x4, ring-8, src-lan-30"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="campaign master seed (default 0)")
+    parser.add_argument("--max-events", type=int, default=None, help="cap events per schedule")
+    parser.add_argument(
+        "--json", metavar="PATH", default=None, help="write the repro.bench/1 campaign summary here"
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        metavar="DIR",
+        default=None,
+        help="shrink failures and write reproducer JSON here",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="ARTIFACT",
+        default=None,
+        help="replay one reproducer artifact instead of sampling",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress per-schedule progress lines")
+    args = parser.parse_args(argv)
+
+    if args.replay:
+        return _replay(args)
+
+    sample = SampleParams()
+    if args.max_events is not None:
+        sample.max_events = args.max_events
+        sample.min_events = min(sample.min_events, args.max_events)
+    config = CampaignConfig(
+        topology=args.topology,
+        schedules=args.schedules,
+        seed=args.seed,
+        sample=sample,
+    )
+    runner = CampaignRunner(config)
+
+    def progress(result) -> None:
+        if args.quiet:
+            return
+        mark = "ok " if result.passed else "FAIL"
+        print(
+            f"  [{mark}] {result.name}: {len(result.schedule.events)} events, "
+            f"{result.faults} faults, {result.epochs} epochs, "
+            f"{result.sim_ns / 1e9:.1f}s simulated",
+            flush=True,
+        )
+        for violation in result.violations:
+            print(f"         {violation}", flush=True)
+
+    print(
+        f"chaos: {config.schedules} schedules on {config.topology} "
+        f"(seed {config.seed})",
+        flush=True,
+    )
+    runner.run(progress=progress)
+    doc = runner.document()
+
+    if args.json:
+        write_document(args.json, doc)
+        print(f"wrote {args.json}")
+
+    failures = runner.failures
+    if failures and args.artifact_dir:
+        _shrink_failures(runner, args)
+
+    print()
+    print(campaign_report(doc))
+    return 1 if failures else 0
+
+
+def _shrink_failures(runner: CampaignRunner, args) -> None:
+    for result in runner.failures[:MAX_SHRINKS]:
+        print(f"shrinking {result.name} ({len(result.schedule.events)} events)...", flush=True)
+        minimal, runs = shrink_schedule(
+            result.schedule,
+            lambda s: not runner.run_schedule(s).passed,
+        )
+        replayed = runner.run_schedule(minimal)
+        path = os.path.join(args.artifact_dir, f"{result.name}.json")
+        artifact = reproducer_dict(
+            minimal,
+            violations=replayed.violations or result.violations,
+            original_events=len(result.schedule.events),
+            shrink_runs=runs,
+        )
+        write_artifact(path, artifact)
+        print(f"  -> {len(minimal.events)} events after {runs} runs: {path}", flush=True)
+    skipped = len(runner.failures) - MAX_SHRINKS
+    if skipped > 0:
+        print(f"  ({skipped} further failure(s) left unshrunk)")
+
+
+def _replay(args) -> int:
+    from repro.chaos.replay import load_artifact, replay_artifact
+
+    doc = load_artifact(args.replay)
+    result = replay_artifact(args.replay)
+    print(result.schedule.describe())
+    print()
+    if result.passed:
+        print("replay PASSED: the artifact no longer reproduces a violation")
+        if doc.get("violations"):
+            print("originally recorded violations:")
+            for violation in doc["violations"]:
+                print(f"  - {violation}")
+        return 0
+    print("replay reproduced violations:")
+    for violation in result.violations:
+        print(f"  - {violation}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,283 @@
+"""The seeded chaos campaign runner.
+
+A campaign samples ``n`` random fault schedules from one master seed,
+runs each against a fresh simulated installation of the configured
+topology, and sweeps the :mod:`repro.chaos.checks` invariants at every
+quiescent point: mid-run whenever the installation re-converges between
+faults, and in full (including the physical-reachability oracle) once
+the schedule's horizon has passed and the network has settled.
+
+Seeding discipline: the campaign owns one :class:`~repro.sim.rng.
+RngRegistry`; each schedule's sampler draws from a ``fork`` of it and
+each Network gets a ``child_seed`` of it, so schedule ``i`` of campaign
+seed ``s`` is always the same run -- independent of how many schedules
+came before it failed or of anything the checks did.
+
+The summary exports through the standard ``repro.bench/1`` schema (no
+wall-clock anywhere in the document, so CI can diff two runs
+byte-for-byte).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.chaos.checks import CheckReport, check_partition_routing, quiescent_checks
+from repro.chaos.schedule import SEC, Injector, SampleParams, Schedule, ScheduleSampler
+from repro.network import Network
+from repro.obs.export import bench_document, bench_result
+from repro.sim.rng import RngRegistry
+from repro.topology.generators import resolve_topology
+
+MS = 1_000_000
+
+
+@dataclass
+class CampaignConfig:
+    """Everything that determines a campaign, and nothing else."""
+
+    topology: str = "torus-3x4"
+    schedules: int = 50
+    seed: int = 0
+    sample: SampleParams = field(default_factory=SampleParams)
+    #: hosts attached to free ports before the campaign starts
+    hosts: int = 2
+    #: extra settling time after the schedule horizon before final checks
+    drain_ns: int = 500 * MS
+    #: base + per-switch convergence deadline (liveness): None computes
+    #: ``20s + 1s * n_switches``, covering worst-case skeptic hold-downs
+    converge_timeout_ns: Optional[int] = None
+    #: poll step while waiting for quiescence
+    step_ns: int = 50 * MS
+    #: quiescence must hold this long before it counts (section 6.2's
+    #: skeptic philosophy, applied to the test harness itself)
+    settle_ns: int = 500 * MS
+
+    def deadline_ns(self, n_switches: int) -> int:
+        if self.converge_timeout_ns is not None:
+            return self.converge_timeout_ns
+        return 20 * SEC + n_switches * SEC
+
+
+@dataclass
+class ScheduleResult:
+    """What one schedule did to one installation."""
+
+    name: str
+    schedule: Schedule
+    converged: bool = False
+    sim_ns: int = 0
+    epochs: int = 0
+    injected: Dict[str, int] = field(default_factory=dict)
+    checks_run: Dict[str, int] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return self.converged and not self.violations
+
+    @property
+    def faults(self) -> int:
+        return sum(self.injected.values())
+
+
+class CampaignRunner:
+    """Samples, runs, and checks fault schedules; accumulates a report.
+
+    ``extra_checks`` lets tests (and the deliberately-broken-invariant
+    sanity check) append their own quiescent-point predicate: a callable
+    from Network to :class:`CheckReport`, swept alongside the built-in
+    ones at the final quiescent point.
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        extra_checks: Optional[Callable[[Network], CheckReport]] = None,
+    ) -> None:
+        self.config = config
+        self.extra_checks = extra_checks
+        self.spec = resolve_topology(config.topology)
+        self.registry = RngRegistry(config.seed)
+        self.results: List[ScheduleResult] = []
+
+    # -- building one installation ---------------------------------------------------
+
+    def _host_plan(self) -> List[tuple]:
+        """Deterministic host attachment points on free ports."""
+        plan = []
+        spec = self.spec
+        for h in range(self.config.hosts):
+            sw = (h * 2) % spec.n_switches
+            free = spec.free_ports(sw)
+            if not free:
+                continue
+            plan.append((f"h{h}", [(sw, free[h % len(free)])]))
+        return plan
+
+    def build_network(self, schedule: Schedule) -> Network:
+        network = Network(self.spec, seed=schedule.seed, telemetry=True)
+        for name, attachments in self._host_plan():
+            network.add_host(name, attachments)
+        return network
+
+    # -- running one schedule --------------------------------------------------------
+
+    def run_schedule(self, schedule: Schedule, name: str = "") -> ScheduleResult:
+        result = ScheduleResult(name=name or schedule.name, schedule=schedule)
+        network = self.build_network(schedule)
+        deadline = self.config.deadline_ns(self.spec.n_switches)
+
+        if not network.run_until_converged(
+            timeout_ns=deadline,
+            settle_ns=self.config.settle_ns,
+            step_ns=self.config.step_ns,
+        ):
+            result.violations.append("initial convergence never reached")
+            result.sim_ns = network.sim.now
+            return result
+
+        injector = Injector(network, schedule)
+        base = network.sim.now
+        injector.arm(base)
+
+        # run out the schedule, sweeping routing invariants whenever the
+        # installation re-converges between faults (a quiescent point)
+        horizon = base + schedule.horizon_ns + self.config.drain_ns
+        was_converged = True
+        while network.sim.now < horizon:
+            network.sim.run_for(self.config.step_ns)
+            now_converged = network.converged()
+            if now_converged and not was_converged:
+                report = check_partition_routing(network)
+                result.checks_run = _merge_counts(result.checks_run, report.checks_run)
+                result.violations.extend(
+                    f"mid-run@{network.sim.now - base}ns: {v}" for v in report.violations
+                )
+            was_converged = now_converged
+
+        # final quiescence: liveness within the distance-scaled deadline
+        result.converged = network.run_until_converged(
+            timeout_ns=deadline,
+            settle_ns=self.config.settle_ns,
+            step_ns=self.config.step_ns,
+        )
+        if not result.converged:
+            result.violations.append(f"no convergence within {deadline / 1e9:.0f}s of schedule end")
+        else:
+            report = quiescent_checks(network)
+            if self.extra_checks is not None:
+                report.merge(self.extra_checks(network))
+            result.checks_run = _merge_counts(result.checks_run, report.checks_run)
+            result.violations.extend(report.violations)
+
+        result.sim_ns = network.sim.now
+        result.injected = dict(injector.injected)
+        if network.tracer is not None:
+            result.epochs = len(network.tracer.epochs())
+        return result
+
+    # -- the campaign ----------------------------------------------------------------
+
+    def sample_schedule(self, index: int) -> Schedule:
+        sampler = ScheduleSampler(
+            self.spec,
+            self.registry.fork(f"sample/{index}").stream("events"),
+            params=self.config.sample,
+            host_names=tuple(name for name, _ in self._host_plan()),
+        )
+        schedule = sampler.sample(name=f"schedule-{index:04d}")
+        schedule.seed = self.registry.child_seed(f"net/{index}")
+        return schedule
+
+    def run(
+        self, progress: Optional[Callable[[ScheduleResult], None]] = None
+    ) -> List[ScheduleResult]:
+        self.results = []
+        for index in range(self.config.schedules):
+            schedule = self.sample_schedule(index)
+            result = self.run_schedule(schedule)
+            self.results.append(result)
+            if progress is not None:
+                progress(result)
+        return self.results
+
+    @property
+    def failures(self) -> List[ScheduleResult]:
+        return [r for r in self.results if not r.passed]
+
+    # -- export ----------------------------------------------------------------------
+
+    def document(self) -> Dict:
+        """The campaign summary as a ``repro.bench/1`` document.
+
+        Deterministic by construction: simulated time only, iteration
+        over sorted keys, no environment leakage.
+        """
+        config = self.config
+        faults: Dict[str, int] = {}
+        checks: Dict[str, int] = {}
+        for r in self.results:
+            faults = _merge_counts(faults, r.injected)
+            checks = _merge_counts(checks, r.checks_run)
+        failed = self.failures
+        row = [
+            config.topology,
+            len(self.results),
+            len(self.results) - len(failed),
+            len(failed),
+            sum(faults.values()),
+            sum(checks.values()),
+            sum(len(r.violations) for r in self.results),
+        ]
+        campaign = bench_result(
+            name="campaign",
+            title=f"Chaos campaign on {config.topology}",
+            headers=[
+                "topology",
+                "schedules",
+                "passed",
+                "failed",
+                "faults_injected",
+                "checks_run",
+                "violations",
+            ],
+            rows=[row],
+            telemetry={
+                "faults_by_kind": {k: faults[k] for k in sorted(faults)},
+                "checks_by_kind": {k: checks[k] for k in sorted(checks)},
+                "sim_ns_total": sum(r.sim_ns for r in self.results),
+                "epochs_total": sum(r.epochs for r in self.results),
+            },
+        )
+        failures = bench_result(
+            name="failures",
+            title="Failing schedules",
+            headers=["schedule", "seed", "events", "faults", "violations"],
+            rows=[_failure_row(r) for r in failed],
+            notes="" if failed else "no failing schedules",
+        )
+        return bench_document(
+            bench="chaos-campaign",
+            title=f"{config.schedules} fault schedules on {config.topology}",
+            seed=config.seed,
+            results=[campaign, failures],
+        )
+
+
+def _failure_row(result: ScheduleResult) -> List:
+    return [
+        result.name,
+        result.schedule.seed,
+        len(result.schedule.events),
+        result.faults,
+        "; ".join(result.violations),
+    ]
+
+
+def _merge_counts(a: Dict[str, int], b: Dict[str, int]) -> Dict[str, int]:
+    out = dict(a)
+    for k, v in b.items():
+        out[k] = out.get(k, 0) + v
+    return out

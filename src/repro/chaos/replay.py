@@ -1,0 +1,83 @@
+"""Reproducer artifacts: serialized failing schedules and their replay.
+
+When a campaign finds a failing schedule the CLI shrinks it and writes a
+``repro.chaos/1`` artifact -- a self-contained JSON file holding the
+minimal schedule (topology name, network seed, event list) plus the
+violations it provoked.  CI uploads these artifacts; anyone can pull one
+and re-run it:
+
+.. code-block:: console
+
+    python -m repro.chaos --replay artifact.json
+
+Replay rebuilds the identical installation (the seed pins clock skews
+and every other randomized choice) and re-executes the schedule through
+the same campaign machinery, so the recorded violations reproduce
+bit-identically or the artifact is stale -- both useful answers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.chaos.schedule import SCHEDULE_SCHEMA, Schedule
+
+
+def reproducer_dict(
+    schedule: Schedule,
+    violations: List[str],
+    original_events: Optional[int] = None,
+    shrink_runs: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The artifact document for a (usually shrunk) failing schedule."""
+    doc: Dict[str, Any] = {
+        "schema": SCHEDULE_SCHEMA,
+        "kind": "reproducer",
+        "schedule": schedule.to_dict(),
+        "violations": list(violations),
+    }
+    if original_events is not None:
+        doc["shrunk_from_events"] = original_events
+    if shrink_runs is not None:
+        doc["shrink_runs"] = shrink_runs
+    return doc
+
+
+def write_artifact(path: str, doc: Dict[str, Any]) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Load and structurally validate a reproducer artifact."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEDULE_SCHEMA:
+        raise ValueError(f"{path}: not a {SCHEDULE_SCHEMA} artifact")
+    if doc.get("kind") != "reproducer":
+        raise ValueError(f"{path}: kind={doc.get('kind')!r}, expected 'reproducer'")
+    Schedule.from_dict(doc["schedule"])  # validates the embedded schedule
+    return doc
+
+
+def replay_artifact(path: str, config=None):
+    """Re-run an artifact's schedule; returns its ScheduleResult.
+
+    ``config`` (a :class:`~repro.chaos.campaign.CampaignConfig`)
+    overrides everything except the topology, which always comes from
+    the artifact.
+    """
+    from repro.chaos.campaign import CampaignConfig, CampaignRunner
+
+    doc = load_artifact(path)
+    schedule = Schedule.from_dict(doc["schedule"])
+    config = config or CampaignConfig()
+    config.topology = schedule.topology
+    runner = CampaignRunner(config)
+    return runner.run_schedule(schedule, name=schedule.name or "replay")

@@ -18,7 +18,6 @@ from typing import Callable, Dict, List, Optional
 
 from repro.constants import (
     ADDR_BROADCAST_SWITCHES,
-    ADDR_LOCAL_SWITCH,
     ADDR_ONE_HOP_BASE,
     CONTROL_PROCESSOR_PORT,
     MS,
@@ -42,7 +41,6 @@ from repro.core.monitor import MonitorParams, Monitoring, NeighborInfo
 from repro.core.reconfig import ReconfigEngine, ReconfigParams
 from repro.core.srp import SrpHandler
 from repro.core.topo import TopologyMap
-from repro.net.forwarding import ForwardingEntry
 from repro.net.packet import Packet, PacketType
 from repro.net.switch import Switch
 from repro.sim.engine import Simulator
@@ -173,6 +171,9 @@ class Autopilot:
         # statistics
         self.packets_handled = 0
         self.crc_errors = 0
+        #: reconfiguration messages dropped because the arrival port was
+        #: not (yet) s.switch.good -- see the gate in _process
+        self.reconfig_msgs_gated = 0
 
     def _boot_configuration_check(self) -> None:
         if self.alive and self.engine.epoch == 0:
@@ -204,6 +205,7 @@ class Autopilot:
         for periodic in self._periodics:
             periodic.cancel()
         self._periodics.clear()
+        self.engine.halt()
 
     # -- transport ------------------------------------------------------------------------
 
@@ -280,6 +282,24 @@ class Autopilot:
             if message.version > self.software_version and self.on_code_download:
                 self.log("code-download", f"version={message.version}")
                 self.on_code_download(message.version)
+            return
+
+        if isinstance(
+            message, (TreePositionMsg, AckMsg, StableMsg, ConfigMsg, LinkDownMsg)
+        ) and (
+            in_port != CONTROL_PROCESSOR_PORT
+            and not self.monitoring.is_good(in_port)
+        ):
+            # An epoch's link set consists of s.switch.good ports (§6.6.2),
+            # and the skeptics exist to bless a link before it can disturb
+            # the network (§6.5.5).  A reconfiguration message arriving on
+            # an unblessed port must not drag us into its epoch: a freshly
+            # rebooted switch would otherwise join a stale in-flight epoch
+            # with zero good ports, find itself vacuously stable, and
+            # configure as a bogus one-switch network while its real
+            # neighbors move on.  Drop it; retransmission and the port
+            # state machine reconcile the views once the port is good.
+            self.reconfig_msgs_gated += 1
             return
 
         if isinstance(message, LinkDownMsg):

@@ -122,6 +122,10 @@ class Monitoring:
             if mon.state is PortState.SWITCH_GOOD
         )
 
+    def is_good(self, port: int) -> bool:
+        mon = self.ports.get(port)
+        return mon is not None and mon.state is PortState.SWITCH_GOOD
+
     def host_ports(self) -> Tuple[int, ...]:
         return tuple(
             p for p, mon in sorted(self.ports.items()) if mon.state is PortState.HOST

@@ -25,7 +25,7 @@ timeout -- the thing the paper's extension exists to avoid.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.addressing import assign_switch_numbers
@@ -193,7 +193,27 @@ class ReconfigEngine:
             self.params.config_timeout_ns, self._config_timed_out, self.epoch
         )
 
+    def halt(self) -> None:
+        """The control processor stopped: silence every pending timer.
+
+        A halted engine must never touch the switch hardware again.  The
+        hardware is shared with whatever Autopilot boots after a restart,
+        and a stale config-deadline firing minutes later would clear the
+        forwarding table the successor just loaded (found by the chaos
+        campaign: crash mid-reconfiguration, restart, wait out the old
+        epoch's deadline).
+        """
+        if self._config_deadline is not None:
+            self._config_deadline.cancel()
+            self._config_deadline = None
+        if self._quiet_event is not None:
+            self._quiet_event.cancel()
+            self._quiet_event = None
+        self._cancel_all_pending()
+
     def _config_timed_out(self, epoch: int) -> None:
+        if not self.ap.alive:
+            return
         if epoch == self.epoch and not self.configured:
             self.ap.log("config-timeout", f"epoch={epoch}")
             self.ap.obs_event("config-timeout", epoch=epoch)
@@ -515,6 +535,8 @@ class ReconfigEngine:
         )
 
     def _quiet_check(self, epoch: int) -> None:
+        if not self.ap.alive:
+            return
         if epoch == self.epoch and not self.configured:
             self._check_stability()
 

@@ -138,7 +138,6 @@ def build_forwarding_entries(
     """
     me = topology.switches[my_uid]
     host_ports = set(my_host_ports if my_host_ports is not None else me.host_ports)
-    neighbors = topology.neighbors(my_uid)
     in_ports = list(range(0, n_ports + 1))
 
     entries: Dict[Tuple[int, int], ForwardingEntry] = {}

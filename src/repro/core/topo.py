@@ -11,7 +11,7 @@ table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
 from repro.types import Uid
 
@@ -110,7 +110,6 @@ class TopologyMap:
     def children_ports(self, uid: Uid) -> List[int]:
         """Ports of ``uid`` that are the parent end of some child's tree link."""
         ports = []
-        me = self.switches[uid]
         for other in self.switches.values():
             if other.parent_uid == uid and other.parent_port is not None:
                 # find the link whose endpoint at the child is parent_port
@@ -125,7 +124,6 @@ class TopologyMap:
                     if child_end.port == other.parent_port:
                         ports.append(my_end.port)
                         break
-        del me
         return sorted(ports)
 
     def tree_depth(self) -> int:

@@ -27,10 +27,9 @@ from repro.constants import (
 )
 from repro.net.fifo import ReceiveFifo
 from repro.net.flowcontrol import FlowControlReceiver, FlowControlSender
-from repro.net.link import Endpoint, Link, Transmitter, connect
+from repro.net.link import Endpoint, Transmitter, connect
 from repro.net.packet import Packet, PacketType
 from repro.sim.engine import Simulator
-from repro.types import Uid
 
 
 def fifo_requirement(length_km: float, f: float = 0.5, s: int = FLOW_CONTROL_SLOT_PERIOD) -> float:

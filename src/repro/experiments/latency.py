@@ -15,9 +15,8 @@ from all 12 ports and measures the forwarding rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
-from repro.constants import SEC
 from repro.core.routing import build_forwarding_entries
 from repro.host.controller import HostController
 from repro.net.link import connect

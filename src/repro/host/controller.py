@@ -15,7 +15,6 @@ import zlib
 from collections import deque
 from typing import Callable, Deque, List, Optional
 
-from repro.constants import BYTE_TIME_NS
 from repro.net.fifo import ReceiveFifo
 from repro.net.flowcontrol import Directive, FlowControlReceiver, FlowControlSender
 from repro.net.link import Endpoint, Transmitter

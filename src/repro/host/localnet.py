@@ -13,7 +13,7 @@ cache operations so E12 can report the analogous overhead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.constants import (

@@ -11,10 +11,10 @@ flood experiments.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.constants import MS, US
+from repro.constants import MS
 from repro.host.localnet import LocalNet
 from repro.net.packet import Packet
 from repro.types import Uid

@@ -19,7 +19,7 @@ routing is down (section 6.7).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.constants import (
     ADDR_LOCAL_SWITCH,

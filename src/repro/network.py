@@ -199,6 +199,7 @@ class Network:
                 "resets": switch.resets,
                 "cp_packets_handled": ap.packets_handled,
                 "cp_crc_errors": ap.crc_errors,
+                "reconfig_msgs_gated": ap.reconfig_msgs_gated,
                 "epochs_initiated": ap.engine.epochs_initiated,
                 "epochs_joined": ap.engine.epochs_joined,
                 "terminations": ap.engine.terminations,
@@ -341,6 +342,52 @@ class Network:
 
     # -- state queries ------------------------------------------------------------------------
 
+    def operational_components(self, include_noisy: bool = True) -> List[frozenset]:
+        """The physically reachable components of the installation *now*:
+        connected components over live switches and non-cut cables,
+        returned as frozensets of switch indices (sorted by smallest
+        member).
+
+        This is the oracle the reconfiguration protocol must converge to
+        (section 6.6 configures each physical partition as its own
+        network), so chaos campaigns compare every switch's configured
+        view against the component containing it.
+        """
+        alive = [i for i, ap in enumerate(self.autopilots) if ap.alive]
+        alive_set = set(alive)
+        adjacency: Dict[int, set] = {i: set() for i in alive}
+        endpoints: Dict[int, List[int]] = {}
+        for (sw, _port), link in self.links.items():
+            endpoints.setdefault(id(link), []).append(sw)
+        for (sw, _port), link in self.links.items():
+            if link.state is LinkState.CUT:
+                continue
+            if link.state is LinkState.NOISY and not include_noisy:
+                continue
+            if link.state is not LinkState.UP and link.state is not LinkState.NOISY:
+                continue  # reflecting cables carry nothing useful
+            ends = endpoints[id(link)]
+            if len(ends) == 2 and ends[0] != ends[1]:
+                a, b = ends
+                if a in alive_set and b in alive_set:
+                    adjacency[a].add(b)
+                    adjacency[b].add(a)
+        components = []
+        unvisited = set(alive_set)
+        while unvisited:
+            start = min(unvisited)
+            component = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for neighbor in adjacency[node]:
+                    if neighbor not in component:
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            unvisited -= component
+            components.append(frozenset(component))
+        return sorted(components, key=min)
+
     def current_epoch(self) -> int:
         return max(ap.epoch for ap in self.alive_autopilots())
 
@@ -368,6 +415,62 @@ class Network:
         return make_short_address(ap.engine.my_number, port)
 
     # -- fault injection -------------------------------------------------------------------------
+    #
+    # Every injector funnels through _notify_fault, so observers (the
+    # repro.obs metrics registry, the chaos campaign's counters) see one
+    # uniform feed of (kind, detail) regardless of which API was called.
+    # ``apply_fault`` is the string-keyed entry point the declarative
+    # chaos schedules use.
+
+    #: uniform fault vocabulary understood by :meth:`apply_fault`
+    FAULT_KINDS = (
+        "cut-link",
+        "restore-link",
+        "noisy-link",
+        "flap-link",
+        "crash-switch",
+        "restart-switch",
+        "power-off-host",
+    )
+
+    #: observer hook: fn(kind, detail_dict); set by the chaos injector
+    on_fault: Optional[Callable[[str, Dict], None]] = None
+
+    def _notify_fault(self, kind: str, **detail) -> None:
+        if self.telemetry_enabled:
+            self.sim.metrics.counter("faults_injected", kind=kind).inc()
+        if self.on_fault is not None:
+            self.on_fault(kind, detail)
+
+    def apply_fault(self, kind: str, **params) -> None:
+        """Apply one fault by kind name (see :data:`FAULT_KINDS`).
+
+        Tolerant by design: faults address the *installation*, so a
+        restart of an already-running switch or a restore of an intact
+        link is a no-op, letting replayed or shrunk schedules stay valid
+        even when earlier (removed) events no longer produce the state a
+        later event assumed.
+        """
+        if kind == "cut-link":
+            self.cut_link(params["a"], params["b"])
+        elif kind == "restore-link":
+            self.restore_link(params["a"], params["b"])
+        elif kind == "noisy-link":
+            self.make_link_noisy(params["a"], params["b"])
+        elif kind == "flap-link":
+            self.flap_link(
+                params["a"], params["b"],
+                flaps=params.get("flaps", 3),
+                period_ns=params.get("period_ns", 100_000_000),
+            )
+        elif kind == "crash-switch":
+            self.crash_switch(params["index"])
+        elif kind == "restart-switch":
+            self.restart_switch(params["index"])
+        elif kind == "power-off-host":
+            self.power_off_host(params["name"], reflect=params.get("reflect", True))
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}")
 
     def link_between(self, a: int, b: int) -> Link:
         """The first cabled link between switch indices ``a`` and ``b``."""
@@ -385,24 +488,47 @@ class Network:
     def cut_link(self, a: int, b: int) -> Link:
         link = self.link_between(a, b)
         link.set_state(LinkState.CUT)
+        self._notify_fault("cut-link", a=a, b=b)
         return link
 
     def restore_link(self, a: int, b: int) -> Link:
         link = self.link_between(a, b)
         link.set_state(LinkState.UP)
+        self._notify_fault("restore-link", a=a, b=b)
         return link
 
     def make_link_noisy(self, a: int, b: int) -> Link:
         link = self.link_between(a, b)
         link.set_state(LinkState.NOISY)
+        self._notify_fault("noisy-link", a=a, b=b)
+        return link
+
+    def flap_link(self, a: int, b: int, flaps: int = 3,
+                  period_ns: int = 100_000_000) -> Link:
+        """An intermittent cable: ``flaps`` cut/restore cycles, each half
+        lasting ``period_ns``.  Rapid trains are what provoke the status
+        skeptic into progressively longer hold-downs (section 6.5.5) --
+        the stabilizing behavior the chaos campaigns exercise.
+        """
+        link = self.link_between(a, b)
+        self._notify_fault("flap-link", a=a, b=b, flaps=flaps, period_ns=period_ns)
+        for i in range(flaps):
+            self.sim.after(2 * i * period_ns, link.set_state, LinkState.CUT)
+            self.sim.after((2 * i + 1) * period_ns, link.set_state, LinkState.UP)
         return link
 
     def crash_switch(self, index: int) -> None:
+        if not self.autopilots[index].alive:
+            return  # already down
         self.autopilots[index].halt()
         self.switches[index].power_off()
+        self._notify_fault("crash-switch", index=index)
 
     def restart_switch(self, index: int) -> None:
         """Power a crashed switch back on with a fresh Autopilot."""
+        if self.autopilots[index].alive:
+            return  # never double-boot a running switch
+        self._notify_fault("restart-switch", index=index)
         switch = self.switches[index]
         switch.power_on()
         offset = self.rng.stream("clock-offsets").randrange(0, 50_000_000)
@@ -507,6 +633,9 @@ class Network:
         """Host powered down; coax links reflect at the dead controller
         (the section 7 broadcast-storm precondition)."""
         controller = self.hosts[name]
+        if not controller.powered:
+            return
+        self._notify_fault("power-off-host", name=name, reflect=reflect)
         controller.power_off()
         for port_index in (0, 1):
             link = self._host_links.get((name, port_index))

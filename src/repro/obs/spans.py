@@ -180,11 +180,24 @@ class ReconfigTracer(SpanTracer):
         super().__init__(max_spans=max_spans)
         #: epoch -> {switch name -> [closed_ns, reopened_ns|None]}
         self._shutters: Dict[int, Dict[str, List[Optional[int]]]] = {}
+        #: external observers of the raw event feed, fn(time_ns,
+        #: component, event, attrs).  The chaos injector uses this to
+        #: trigger faults on mid-reconfiguration phase transitions.
+        self._listeners: List[Any] = []
+
+    def add_listener(self, fn) -> None:
+        """Subscribe to every switch event as it is fed to the tracer."""
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        self._listeners.remove(fn)
 
     # -- the feed (called via Autopilot.on_obs_event) -----------------------------
 
     def switch_event(self, time_ns: int, component: str, event: str,
                      attrs: Dict[str, Any]) -> None:
+        for listener in self._listeners:
+            listener(time_ns, component, event, attrs)
         epoch = attrs.get("epoch")
         if event == "trigger":
             # recorded onto the *next* epoch once it starts; keep the most

@@ -28,5 +28,16 @@ class RngRegistry:
 
     def fork(self, name: str) -> "RngRegistry":
         """Derive a registry whose streams are independent of this one's."""
+        return RngRegistry(self.child_seed(name))
+
+    def child_seed(self, name: str) -> int:
+        """A deterministic integer seed derived from this registry's seed.
+
+        Used where a whole component (a simulated Network, a chaos
+        schedule) takes a plain ``seed`` argument: deriving it here keeps
+        the derived component reproducible while guaranteeing its streams
+        are independent of ours -- fault-injection sampling can never
+        perturb the simulation's own randomness.
+        """
         digest = hashlib.sha256(f"{self.seed}/fork/{name}".encode()).digest()
-        return RngRegistry(int.from_bytes(digest[:8], "big"))
+        return int.from_bytes(digest[:8], "big")

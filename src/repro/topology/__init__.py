@@ -7,6 +7,7 @@ from repro.topology.generators import (
     line,
     mesh,
     random_regular,
+    resolve_topology,
     ring,
     torus,
     tree,
@@ -23,6 +24,7 @@ __all__ = [
     "line",
     "mesh",
     "random_regular",
+    "resolve_topology",
     "ring",
     "torus",
     "tree",

@@ -186,6 +186,42 @@ def random_regular(
     return from_edges(edges, n=n, uids=uids, name=f"random-{n}d{degree}s{seed}")
 
 
+def resolve_topology(name: str) -> TopologySpec:
+    """Build a spec from its canonical name: ``torus-3x4``, ``mesh-2x3``,
+    ``ring-8``, ``line-5``, ``tree-d2f3``, ``random-16d3s5``, or
+    ``src-lan-30``.
+
+    Every generator names its spec this way, so ``resolve_topology(
+    spec.name)`` round-trips; CLIs (chaos campaigns, benches) use it to
+    take topologies as strings.
+    """
+    import re
+
+    if name == "src-lan-30":
+        from repro.topology.src_lan import src_service_lan
+
+        return src_service_lan()
+    patterns = [
+        (r"^(torus)-(\d+)x(\d+)$", lambda m: torus(int(m[2]), int(m[3]))),
+        (r"^(mesh)-(\d+)x(\d+)$", lambda m: mesh(int(m[2]), int(m[3]))),
+        (r"^(ring)-(\d+)$", lambda m: ring(int(m[2]))),
+        (r"^(line)-(\d+)$", lambda m: line(int(m[2]))),
+        (r"^(tree)-d(\d+)f(\d+)$", lambda m: tree(int(m[2]), int(m[3]))),
+        (
+            r"^(random)-(\d+)d(\d+)s(\d+)$",
+            lambda m: random_regular(int(m[2]), degree=int(m[3]), seed=int(m[4])),
+        ),
+    ]
+    for pattern, build in patterns:
+        match = re.match(pattern, name)
+        if match:
+            return build(match)
+    raise ValueError(
+        f"unknown topology {name!r} (try torus-3x4, mesh-2x3, ring-8, "
+        f"line-5, tree-d2f3, random-16d3s5, or src-lan-30)"
+    )
+
+
 def expected_tree(spec: TopologySpec, host_ports: Optional[Dict[int, List[int]]] = None) -> TopologyMap:
     """The spanning tree the distributed algorithm converges to.
 

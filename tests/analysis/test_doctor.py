@@ -1,6 +1,5 @@
 """The network-doctor management tool."""
 
-import pytest
 
 from repro.analysis.doctor import diagnose
 from repro.constants import SEC

@@ -1,7 +1,6 @@
 """Autopilot self-propagation (section 5.4) and the section 7 release
 anecdote: rollouts reach every switch; slow propagation bounds disruption."""
 
-import pytest
 
 from repro.constants import SEC
 from repro.network import Network

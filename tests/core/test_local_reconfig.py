@@ -2,7 +2,6 @@
 optional extension): non-tree link deaths are handled with a flooded
 delta and local table recomputation -- no new epoch, no traffic blackout."""
 
-import pytest
 
 from repro.analysis.invariants import all_pairs_reachable, check_no_down_to_up
 from repro.constants import SEC

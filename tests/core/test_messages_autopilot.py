@@ -1,6 +1,5 @@
 """Message encodings and Autopilot unit behaviors."""
 
-import pytest
 
 from repro.constants import SEC
 from repro.core.autopilot import AutopilotParams, CpuModel
@@ -13,7 +12,6 @@ from repro.core.messages import (
     StableMsg,
     TreePositionMsg,
 )
-from repro.core.topo import TopologyMap
 from repro.network import Network
 from repro.topology import expected_tree, line, torus
 from repro.types import Uid, make_short_address

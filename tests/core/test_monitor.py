@@ -1,7 +1,6 @@
 """Port-state monitoring on live networks: classification fingerprints
 (sections 6.5.2-6.5.4)."""
 
-import pytest
 
 from repro.constants import SEC
 from repro.core.portstate import PortState

@@ -1,13 +1,7 @@
 """Port states (Figure 8) and the skeptics (section 6.5.5)."""
 
 from repro.constants import MS, SEC
-from repro.core.portstate import (
-    MONITOR_TRANSITIONS,
-    PortState,
-    RECONFIGURING_TRANSITIONS,
-    SAMPLER_TRANSITIONS,
-    transition_allowed,
-)
+from repro.core.portstate import PortState, RECONFIGURING_TRANSITIONS, transition_allowed
 from repro.core.skeptic import ConnectivitySkeptic, SkepticParams, StatusSkeptic
 
 

@@ -8,7 +8,6 @@ control packets, because every reconfiguration message is retransmitted
 until acknowledged.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.constants import SEC
@@ -16,7 +15,6 @@ from repro.core.messages import TreePositionMsg
 from repro.network import Network
 from repro.topology import random_regular
 from repro.topology.generators import expected_tree
-from repro.types import Uid
 
 
 def assert_matches_oracle(net: Network) -> None:

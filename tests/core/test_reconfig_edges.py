@@ -1,7 +1,6 @@
 """Reconfiguration edge cases: retransmission caps, quiescence mode,
 scale, and SRP availability mid-reconfiguration."""
 
-import pytest
 
 from repro.analysis.explorer import NetworkExplorer
 from repro.constants import SEC

@@ -5,7 +5,6 @@ what exactly makes a switch *stable*, when stable reports are (re)sent,
 and how epochs reset state -- without the full network around it.
 """
 
-import pytest
 
 from repro.core.autopilot import CpuModel
 from repro.core.messages import AckMsg, ConfigMsg, StableMsg, TreePositionMsg

@@ -1,6 +1,5 @@
 """Integration: full Autopilot stacks converging on real simulated links."""
 
-import pytest
 
 from repro.constants import SEC
 from repro.network import Network

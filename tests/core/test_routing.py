@@ -23,7 +23,6 @@ from repro.core.routing import (
     legal_distances,
     link_direction,
 )
-from repro.core.topo import NetLink, PortRef
 from repro.topology import expected_tree, line, mesh, random_regular, ring, torus
 from repro.types import make_short_address
 
@@ -245,7 +244,7 @@ def test_arrival_phase_tree_links():
     topo, _ = build_all(spec)
     # switch 1 is a child of switch 0 (root): arriving at 1 from 0 is DOWN,
     # arriving at 0 from 1 is UP
-    link = next(iter(topo.links & {l for l in topo.links if {l.a.uid, l.b.uid} == {spec.uids[0], spec.uids[1]}}))
+    link = next(iter({ln for ln in topo.links if {ln.a.uid, ln.b.uid} == {spec.uids[0], spec.uids[1]}}))
     end0 = link.endpoint_at(spec.uids[0])
     end1 = link.endpoint_at(spec.uids[1])
     assert arrival_phase(topo, spec.uids[1], end1.port) == DOWN

@@ -1,10 +1,8 @@
 """The source-routed protocol (section 6.7): works even mid-reconfiguration."""
 
-import pytest
 
 from repro.constants import SEC
 from repro.core.messages import SrpMessage
-from repro.net.packet import Packet, PacketType
 from repro.network import Network
 from repro.topology import line, ring
 

@@ -81,7 +81,7 @@ def test_unicast_conversation_across_bridge(bridged_autonets):
 def test_local_traffic_not_forwarded(bridged_autonets):
     net_a, net_b, ln_a, ln_b, bridge = bridged_autonets
     net_a.add_host("hA2", [(0, 6), (1, 6)])
-    ln_a2 = LocalNet(net_a.drivers["hA2"])
+    LocalNet(net_a.drivers["hA2"])  # attach the second host
     net_a.run_for(5 * SEC)
     forwarded_before = bridge.forwarded
     # teach the bridge both hosts' locations, then talk locally
@@ -130,9 +130,7 @@ class TestEthernetBridge:
     def test_same_segment_traffic_filtered(self):
         sim = Simulator()
         e1, e2 = Ethernet(sim, "e1"), Ethernet(sim, "e2")
-        bridge = EthernetEthernetBridge(
-            e1.attach(Uid(0xB1)), e2.attach(Uid(0xB2))
-        )
+        bridge = EthernetEthernetBridge(e1.attach(Uid(0xB1)), e2.attach(Uid(0xB2)))
         alice = e1.attach(Uid(0xA1))
         carol = e1.attach(Uid(0xA3))
         carol.send(Uid(0xA1), 100)  # teaches the bridge A1's side
@@ -148,9 +146,7 @@ class TestEthernetBridge:
     def test_broadcast_always_crosses(self):
         sim = Simulator()
         e1, e2 = Ethernet(sim, "e1"), Ethernet(sim, "e2")
-        bridge = EthernetEthernetBridge(
-            e1.attach(Uid(0xB1)), e2.attach(Uid(0xB2))
-        )
+        EthernetEthernetBridge(e1.attach(Uid(0xB1)), e2.attach(Uid(0xB2)))
         alice = e1.attach(Uid(0xA1))
         bob = e2.attach(Uid(0xA2))
         got = []

@@ -1,13 +1,10 @@
 """Host controller and driver units: buffering, port selection, probing."""
 
-import pytest
 
 from repro.constants import SEC
 from repro.core.portstate import PortState
 from repro.host.controller import HostController
-from repro.net.link import connect
 from repro.net.packet import Packet
-from repro.net.switch import Switch
 from repro.network import Network
 from repro.sim.engine import Simulator
 from repro.topology import line

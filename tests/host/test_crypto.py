@@ -3,7 +3,7 @@
 import pytest
 
 from repro.constants import SEC
-from repro.host.crypto import EncryptedPayload, KeyStore
+from repro.host.crypto import KeyStore
 from repro.host.localnet import LocalNet
 from repro.network import Network
 from repro.topology import line

@@ -1,17 +1,11 @@
 """LocalNet cache mechanics (section 6.8.1) in isolation, with a fake driver."""
 
-from typing import List, Optional
+from typing import List
 
 import pytest
 
 from repro.constants import SEC
-from repro.host.localnet import (
-    ArpRequest,
-    ArpResponse,
-    BROADCAST_UID,
-    CacheEntry,
-    LocalNet,
-)
+from repro.host.localnet import ArpRequest, ArpResponse, BROADCAST_UID, LocalNet
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.types import Uid

@@ -9,7 +9,6 @@ from repro.host.localnet import LocalNet
 from repro.host.multilan import MultiLan
 from repro.network import Network
 from repro.topology import line
-from repro.types import Uid
 
 
 @pytest.fixture

@@ -1,7 +1,6 @@
 """Flow-control backpressure (sections 3.5, 6.2): congestion backs up
 through the network instead of dropping packets."""
 
-import pytest
 
 from repro.constants import SEC
 from repro.core.routing import build_forwarding_entries

@@ -1,7 +1,6 @@
 """The section 7 / 6.1 extension facilities: direction-tagged links
 (reflected-packet discard) and the panic directive."""
 
-import pytest
 
 from repro.constants import SEC
 from repro.host.localnet import BROADCAST_UID, LocalNet

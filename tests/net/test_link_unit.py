@@ -4,7 +4,6 @@ import pytest
 
 from repro.constants import BYTE_TIME_NS
 from repro.net.link import Link, LinkState, connect, propagation_ns
-from repro.net.linkunit import LinkUnit
 from repro.net.packet import Packet
 from repro.net.switch import Switch
 from repro.sim.engine import Simulator

@@ -1,6 +1,5 @@
 """The first-come, first-considered scheduling engine (section 6.4)."""
 
-import pytest
 
 from repro.net.forwarding import ForwardingEntry
 from repro.net.packet import Packet

@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.obs.registry import (
-    Counter,
-    Histogram,
-    MetricsRegistry,
-    NULL_COUNTER,
-    _NullInstrument,
-)
+from repro.obs.registry import MetricsRegistry, NULL_COUNTER, _NullInstrument
 
 
 def test_counter_semantics():

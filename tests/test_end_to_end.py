@@ -18,7 +18,6 @@ def test_all_delivered_packets_follow_legal_routes():
     """Run permutation traffic over a converged torus and check every
     delivered packet's hop trail against the up*/down* rule."""
     net = Network(torus(3, 3))
-    names = {}
     for i in range(6):
         net.add_host(f"h{i}", [(i, 9), ((i + 3) % 9, 9)])
     localnets = {f"h{i}": LocalNet(net.drivers[f"h{i}"]) for i in range(6)}

@@ -180,8 +180,8 @@ def test_unique_proposals_always_honored(numbers):
 )
 def test_tree_position_order_is_total(raw):
     positions = [
-        TreePosition(root=Uid(r), level=l, parent_uid=Uid(p), parent_port=q)
-        for r, l, p, q in raw
+        TreePosition(root=Uid(r), level=lv, parent_uid=Uid(p), parent_port=q)
+        for r, lv, p, q in raw
     ]
     ordered = sorted(positions, key=lambda p: p.sort_key())
     for a, b in zip(ordered, ordered[1:]):

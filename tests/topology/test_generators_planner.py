@@ -14,7 +14,7 @@ from repro.topology import (
     torus,
     tree,
 )
-from repro.topology.planner import InstallationPlan, plan_installation
+from repro.topology.planner import plan_installation
 from repro.topology.src_lan import src_host_ports
 
 
