@@ -214,6 +214,61 @@ def telemetry_dashboard(network) -> str:
     if unclosed:
         lines.append("")
         lines.append(f"  WARNING: {unclosed} reconfiguration span(s) never closed")
+
+    if (
+        getattr(network, "flight", None) is not None
+        or getattr(network, "profiler", None) is not None
+    ):
+        lines.append("")
+        lines.append(flight_report(network))
+    return "\n".join(lines)
+
+
+def flight_report(network, hotspot_limit: int = 8) -> str:
+    """The ``flight`` section of the doctor's output: what the event-loop
+    profiler and the flight recorder know about the last reconfiguration.
+
+    Covers the slowest handler categories (when ``Network(...,
+    profile=True)`` attached a profiler), ring-buffer drop counts, and
+    the deepest retained causal chain of the last epoch -- the "story"
+    a §6.7 merged log was read for, reconstructed mechanically.
+    """
+    from repro.obs.flight import render_chain
+
+    lines = ["flight recorder:"]
+    profiler = getattr(network, "profiler", None)
+    recorder = getattr(network, "flight", None)
+    if profiler is None and recorder is None:
+        lines.append(
+            "  off (build Network(flight=True, profile=True) to record)"
+        )
+        return "\n".join(lines)
+
+    if profiler is not None:
+        lines.append("")
+        for line in profiler.render(limit=hotspot_limit).splitlines():
+            lines.append(f"  {line}")
+
+    if recorder is not None:
+        lines.append("")
+        lines.append(
+            f"  {recorder.total_recorded} events recorded on "
+            f"{len(recorder.components())} components, "
+            f"{recorder.total_dropped} dropped"
+        )
+        for component, dropped in recorder.dropped_by_component().items():
+            lines.append(f"    {component}: {dropped} oldest events evicted")
+        chain = recorder.deepest_chain()
+        if chain:
+            epoch = chain[-1].attrs.get("epoch")
+            lines.append("")
+            lines.append(
+                f"  deepest causal chain"
+                + (f" (epoch {epoch})" if epoch is not None else "")
+                + f", {len(chain)} events:"
+            )
+            for line in render_chain(chain).splitlines():
+                lines.append(f"    {line}")
     return "\n".join(lines)
 
 

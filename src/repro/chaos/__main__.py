@@ -9,8 +9,10 @@
     python -m repro.chaos --schedules 1000 --topology src-lan-30 \\
         --json campaign.json --artifact-dir chaos-artifacts
 
-    # re-run a reproducer somebody attached to a bug report
-    python -m repro.chaos --replay chaos-artifacts/schedule-0007.json
+    # re-run a reproducer somebody attached to a bug report, recording
+    # the causal flight trace of the failure (load it in Perfetto)
+    python -m repro.chaos --replay chaos-artifacts/schedule-0007.json \\
+        --trace schedule-0007.trace.json
 
 Exit status is 0 when every schedule passes, 1 otherwise.
 """
@@ -61,6 +63,13 @@ def main(argv=None) -> int:
         metavar="ARTIFACT",
         default=None,
         help="replay one reproducer artifact instead of sampling",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="with --replay: record a flight trace of the replay "
+        "and write the Perfetto JSON here",
     )
     parser.add_argument("--quiet", action="store_true", help="suppress per-schedule progress lines")
     args = parser.parse_args(argv)
@@ -121,7 +130,11 @@ def _shrink_failures(runner: CampaignRunner, args) -> None:
             result.schedule,
             lambda s: not runner.run_schedule(s).passed,
         )
-        replayed = runner.run_schedule(minimal)
+        # the confirmation replay doubles as the flight recording: the
+        # trace lands next to the reproducer so the causal timeline of
+        # the minimal failure ships with it
+        trace_path = os.path.join(args.artifact_dir, f"{result.name}.trace.json")
+        replayed = runner.run_schedule(minimal, trace_path=trace_path)
         path = os.path.join(args.artifact_dir, f"{result.name}.json")
         artifact = reproducer_dict(
             minimal,
@@ -130,7 +143,11 @@ def _shrink_failures(runner: CampaignRunner, args) -> None:
             shrink_runs=runs,
         )
         write_artifact(path, artifact)
-        print(f"  -> {len(minimal.events)} events after {runs} runs: {path}", flush=True)
+        print(
+            f"  -> {len(minimal.events)} events after {runs} runs: {path} "
+            f"(trace: {trace_path})",
+            flush=True,
+        )
     skipped = len(runner.failures) - MAX_SHRINKS
     if skipped > 0:
         print(f"  ({skipped} further failure(s) left unshrunk)")
@@ -140,8 +157,10 @@ def _replay(args) -> int:
     from repro.chaos.replay import load_artifact, replay_artifact
 
     doc = load_artifact(args.replay)
-    result = replay_artifact(args.replay)
+    result = replay_artifact(args.replay, trace_path=args.trace)
     print(result.schedule.describe())
+    if args.trace:
+        print(f"flight trace written to {args.trace}")
     print()
     if result.passed:
         print("replay PASSED: the artifact no longer reproduces a violation")

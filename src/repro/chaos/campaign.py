@@ -116,17 +116,34 @@ class CampaignRunner:
             plan.append((f"h{h}", [(sw, free[h % len(free)])]))
         return plan
 
-    def build_network(self, schedule: Schedule) -> Network:
-        network = Network(self.spec, seed=schedule.seed, telemetry=True)
+    def build_network(self, schedule: Schedule, flight: bool = False) -> Network:
+        network = Network(self.spec, seed=schedule.seed, telemetry=True, flight=flight)
         for name, attachments in self._host_plan():
             network.add_host(name, attachments)
         return network
 
     # -- running one schedule --------------------------------------------------------
 
-    def run_schedule(self, schedule: Schedule, name: str = "") -> ScheduleResult:
+    def run_schedule(
+        self,
+        schedule: Schedule,
+        name: str = "",
+        trace_path: Optional[str] = None,
+    ) -> ScheduleResult:
+        """Run one schedule; ``trace_path`` turns on the flight recorder
+        for this run and writes the Perfetto trace there afterwards (the
+        recorder is observational, so the run itself is unchanged)."""
         result = ScheduleResult(name=name or schedule.name, schedule=schedule)
-        network = self.build_network(schedule)
+        network = self.build_network(schedule, flight=trace_path is not None)
+        try:
+            return self._run_schedule(network, schedule, result)
+        finally:
+            if trace_path is not None:
+                network.export_flight_trace(trace_path)
+
+    def _run_schedule(
+        self, network: Network, schedule: Schedule, result: ScheduleResult
+    ) -> ScheduleResult:
         deadline = self.config.deadline_ns(self.spec.n_switches)
 
         if not network.run_until_converged(

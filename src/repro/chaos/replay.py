@@ -66,12 +66,14 @@ def load_artifact(path: str) -> Dict[str, Any]:
     return doc
 
 
-def replay_artifact(path: str, config=None):
+def replay_artifact(path: str, config=None, trace_path: Optional[str] = None):
     """Re-run an artifact's schedule; returns its ScheduleResult.
 
     ``config`` (a :class:`~repro.chaos.campaign.CampaignConfig`)
     overrides everything except the topology, which always comes from
-    the artifact.
+    the artifact.  ``trace_path`` records a flight trace of the replay
+    and writes the Perfetto document there -- the causal timeline of the
+    very run the reproducer provokes.
     """
     from repro.chaos.campaign import CampaignConfig, CampaignRunner
 
@@ -80,4 +82,6 @@ def replay_artifact(path: str, config=None):
     config = config or CampaignConfig()
     config.topology = schedule.topology
     runner = CampaignRunner(config)
-    return runner.run_schedule(schedule, name=schedule.name or "replay")
+    return runner.run_schedule(
+        schedule, name=schedule.name or "replay", trace_path=trace_path
+    )

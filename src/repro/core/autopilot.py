@@ -43,6 +43,7 @@ from repro.core.srp import SrpHandler
 from repro.core.topo import TopologyMap
 from repro.net.packet import Packet, PacketType
 from repro.net.switch import Switch
+from repro.obs.flight import CAT_EPOCH, CAT_MESSAGE
 from repro.sim.engine import Simulator
 from repro.sim.timers import Periodic, TaskScheduler
 from repro.sim.trace import TraceLog
@@ -134,7 +135,7 @@ class Autopilot:
         #: reboot hook, set by the Network facade: fn(new_version)
         self.on_code_download: Optional[Callable[[int], None]] = None
 
-        self.scheduler = TaskScheduler(self.sim)
+        self.scheduler = TaskScheduler(self.sim, owner=switch.name)
         self.trace = TraceLog(switch.name, clock_offset=clock_offset)
         self.monitoring = Monitoring(self, self.params.monitor)
         self.engine = ReconfigEngine(self, self.params.reconfig)
@@ -154,11 +155,13 @@ class Autopilot:
                 self.params.monitor.sample_period_ns,
                 self.monitoring.sample_all,
                 cost=self.cpu.sampler_run_ns,
+                name="status-sampler",
             ),
             self.scheduler.every(
                 self.params.monitor.probe_period_ns,
                 self.monitoring.probe_all,
                 cost=self.cpu.probe_handle_ns,
+                name="conn-prober",
             ),
         ]
 
@@ -226,6 +229,7 @@ class Autopilot:
             payload=message,
             created_at=self.sim.now,
         )
+        self._record_send(packet, message, port=port)
         self.switch.inject_from_cp(packet)
 
     def send_addressed(self, dest_short: int, message: ControlMessage, ptype: PacketType) -> None:
@@ -240,7 +244,31 @@ class Autopilot:
             payload=message,
             created_at=self.sim.now,
         )
+        self._record_send(packet, message)
         self.switch.inject_from_cp(packet)
+
+    def _record_send(
+        self, packet: Packet, message: ControlMessage, port: Optional[int] = None
+    ) -> None:
+        """Flight-record a control-message send and stamp the packet.
+
+        ``advance=False``: the causal story continues on the receiving
+        switch (via the stamped id), not in whatever this handler does
+        next.
+        """
+        rec = self.sim.recorder
+        if rec is not None:
+            packet.flight_eid = rec.record(
+                self.sim.now,
+                self.switch.name,
+                CAT_MESSAGE,
+                "msg-send",
+                advance=False,
+                msg=type(message).__name__,
+                epoch=getattr(message, "epoch", None),
+                port=port,
+                dest=packet.dest_short,
+            )
 
     # -- packet reception --------------------------------------------------------------------
 
@@ -262,6 +290,22 @@ class Autopilot:
         if message is None:
             return
         in_port = packet.trail[-1][1] if packet.trail else CONTROL_PROCESSOR_PORT
+
+        rec = self.sim.recorder
+        if rec is not None:
+            # parent crosses the wire: the send event stamped the packet.
+            # advance=True makes everything this message causes chain here.
+            rec.record(
+                self.sim.now,
+                self.switch.name,
+                CAT_MESSAGE,
+                "msg-recv",
+                parent=packet.flight_eid,
+                msg=type(message).__name__,
+                epoch=getattr(message, "epoch", None),
+                port=in_port,
+                flow=packet.flight_eid,
+            )
 
         if isinstance(message, ConnectivityProbe):
             self.monitoring.on_probe(in_port, message)
@@ -345,9 +389,18 @@ class Autopilot:
         self.trace.log(self.sim.now, event, detail)
 
     def obs_event(self, event: str, **attrs) -> None:
-        """Emit one structured telemetry event (no-op when untraced)."""
+        """Emit one structured telemetry event (no-op when untraced).
+
+        The same feed lands in the flight recorder as an epoch-category
+        event, so phase marks (trigger, epoch-start, unconfigure,
+        termination, table-loaded, config-timeout) appear on the causal
+        timeline without a second set of hook sites.
+        """
         if self.on_obs_event is not None:
             self.on_obs_event(self.sim.now, self.switch.name, event, attrs)
+        rec = self.sim.recorder
+        if rec is not None:
+            rec.record(self.sim.now, self.switch.name, CAT_EPOCH, event, **attrs)
 
     def good_ports(self):
         return self.monitoring.good_ports()

@@ -20,6 +20,7 @@ from repro.core.portstate import PortState
 from repro.core.skeptic import ConnectivitySkeptic, SkepticParams, StatusSkeptic
 from repro.net.flowcontrol import Directive
 from repro.net.linkunit import StatusSample
+from repro.obs.flight import CAT_PORT
 from repro.types import Uid
 
 
@@ -145,6 +146,20 @@ class Monitoring:
         mon.state = new_state
         mon.entered_at = now
         self.ap.log("port-state", f"port={port} {old.value}->{new_state.value} ({reason})")
+        rec = self.ap.sim.recorder
+        if rec is not None:
+            # advances the causal context: the reconfiguration trigger a
+            # few lines down chains to this transition
+            rec.record(
+                now,
+                self.ap.switch.name,
+                CAT_PORT,
+                "port-state",
+                port=port,
+                old=old.value,
+                new=new_state.value,
+                reason=reason,
+            )
 
         if new_state is PortState.DEAD:
             self._apply_dead_actions(port)

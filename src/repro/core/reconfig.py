@@ -47,6 +47,7 @@ from repro.core.topo import (
     relevel,
 )
 from repro.core.treepos import TreePosition, candidate_position
+from repro.obs.flight import CAT_TIMER
 from repro.sim.engine import EventHandle
 from repro.types import Uid
 
@@ -235,6 +236,19 @@ class ReconfigEngine:
         pending.event = self.ap.sim.after(
             self.params.retx_period_ns, self._retransmit, pending
         )
+        rec = self.ap.sim.recorder
+        if rec is not None:
+            rec.record(
+                self.ap.sim.now,
+                self.ap.switch.name,
+                CAT_TIMER,
+                "retx-arm",
+                advance=False,
+                msg_id=pending.message.msg_id,
+                msg=type(pending.message).__name__,
+                attempts=pending.attempts,
+                port=pending.port,
+            )
 
     def _retransmit(self, pending: _Pending) -> None:
         if pending.message.msg_id in self._pending:
@@ -244,6 +258,16 @@ class ReconfigEngine:
         pending = self._pending.pop(msg_id, None)
         if pending is not None and pending.event is not None:
             pending.event.cancel()
+            rec = self.ap.sim.recorder
+            if rec is not None:
+                rec.record(
+                    self.ap.sim.now,
+                    self.ap.switch.name,
+                    CAT_TIMER,
+                    "retx-cancel",
+                    advance=False,
+                    msg_id=msg_id,
+                )
 
     def _cancel_all_pending(self, kind=None) -> None:
         for msg_id in list(self._pending):

@@ -63,6 +63,9 @@ class Packet:
     created_at: int = 0
     #: (switch name, in port, out ports) per hop, for tracing and tests
     trail: List[Tuple[str, int, Tuple[int, ...]]] = field(default_factory=list)
+    #: flight-recorder id of the send event; crosses the wire with the
+    #: packet so the receive can link back to it causally
+    flight_eid: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.data_bytes <= MAX_DATA_BYTES:

@@ -23,6 +23,7 @@ from repro.net.forwarding import ForwardingEntry, ForwardingTable
 from repro.net.linkunit import LinkUnit
 from repro.net.packet import Packet
 from repro.net.scheduler import Request, SchedulingEngine
+from repro.obs.flight import CAT_TABLE
 from repro.sim.engine import Simulator
 from repro.types import Uid
 
@@ -290,6 +291,11 @@ class Switch:
         if reset_on_load:
             self.reset()
         self.table.clear_to_constant()
+        rec = self.sim.recorder
+        if rec is not None:
+            rec.record(
+                self.sim.now, self.name, CAT_TABLE, "table-clear", reset=reset_on_load
+            )
 
     def load_table(
         self,
@@ -305,6 +311,16 @@ class Switch:
         if reset_on_load:
             self.reset()
         self.table.load(entries)
+        rec = self.sim.recorder
+        if rec is not None:
+            rec.record(
+                self.sim.now,
+                self.name,
+                CAT_TABLE,
+                "table-load",
+                entries=len(entries),
+                reset=reset_on_load,
+            )
 
     # -- power -------------------------------------------------------------------------------------
 

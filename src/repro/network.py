@@ -22,6 +22,8 @@ from repro.host.controller import HostController
 from repro.host.driver import AutonetDriver
 from repro.net.link import Link, LinkState, connect
 from repro.net.switch import Switch
+from repro.obs.flight import FlightRecorder
+from repro.obs.profiler import EventLoopProfiler
 from repro.obs.spans import ReconfigTracer
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
@@ -59,6 +61,9 @@ class Network:
         sim: Optional[Simulator] = None,
         name: str = "",
         telemetry: bool = True,
+        flight: bool = False,
+        flight_capacity: int = 65536,
+        profile: bool = False,
     ) -> None:
         self.spec = spec
         #: pass a shared simulator to co-simulate several Autonets (for
@@ -75,6 +80,18 @@ class Network:
         self.tracer = ReconfigTracer() if telemetry else None
         if telemetry:
             self.sim.enable_metrics()
+        #: opt-in flight recorder and event-loop profiler (repro.obs).
+        #: Attached before the switches are built so boot-time events are
+        #: captured; both default off, leaving sim.recorder/sim.profiler
+        #: None (the null fast path).
+        self.flight = (
+            FlightRecorder(capacity_per_component=flight_capacity) if flight else None
+        )
+        if flight:
+            self.sim.recorder = self.flight
+        self.profiler = EventLoopProfiler() if profile else None
+        if profile:
+            self.sim.profiler = self.profiler
 
         self.switches: List[Switch] = []
         self.autopilots: List[Autopilot] = []
@@ -651,6 +668,30 @@ class Network:
                 link.set_state(state)
             else:
                 link.set_state(LinkState.CUT)
+
+    # -- flight trace export ----------------------------------------------------------------------
+
+    def flight_trace(self) -> Dict:
+        """The ``repro.obs.flight/1`` / Chrome trace_event document of
+        everything the flight recorder captured, with the §6.7 merged
+        circular log bridged in as its own track."""
+        if self.flight is None:
+            raise RuntimeError("flight recorder is off; build Network(flight=True)")
+        from repro.obs.perfetto import trace_event_document
+
+        return trace_event_document(
+            self.flight,
+            merged_log=self.merged_log,
+            name=self.name or self.spec.name,
+        )
+
+    def export_flight_trace(self, path: str) -> Dict:
+        """Validate and write the flight trace; returns the document."""
+        from repro.obs.perfetto import write_trace
+
+        doc = self.flight_trace()
+        write_trace(path, doc)
+        return doc
 
     # -- debugging --------------------------------------------------------------------------------
 

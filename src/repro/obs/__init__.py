@@ -14,6 +14,15 @@ bench-trajectory needs of ROADMAP.md:
   and per-host blackout intervals.
 * :mod:`repro.obs.export` -- the stable JSON schema every benchmark emits
   through ``benchmarks/bench_util.py``, so runs are machine-readable.
+* :mod:`repro.obs.flight` -- the flight recorder: causally-linked events
+  (message sends/receives, port transitions, timers, epoch phases, table
+  loads) in bounded per-component rings, with ``why``/``wave`` queries.
+* :mod:`repro.obs.perfetto` -- Chrome ``trace_event`` / Perfetto export
+  of a flight recording (``repro.obs.flight/1``), plus its validator.
+* :mod:`repro.obs.profiler` -- the event-loop profiler: wall-clock and
+  event counts per handler category, and the ``events_per_sec`` baseline.
+
+``python -m repro.obs`` exposes ``export``, ``why``, and ``profile``.
 """
 
 from repro.obs.export import (
@@ -23,6 +32,20 @@ from repro.obs.export import (
     validate_document,
     write_document,
 )
+from repro.obs.flight import (
+    ComponentRing,
+    FlightEvent,
+    FlightRecorder,
+    render_chain,
+)
+from repro.obs.perfetto import (
+    FLIGHT_SCHEMA,
+    read_trace,
+    trace_event_document,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.profiler import EventLoopProfiler
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -48,4 +71,14 @@ __all__ = [
     "ReconfigTracer",
     "Span",
     "SpanTracer",
+    "ComponentRing",
+    "FlightEvent",
+    "FlightRecorder",
+    "render_chain",
+    "FLIGHT_SCHEMA",
+    "read_trace",
+    "trace_event_document",
+    "validate_trace",
+    "write_trace",
+    "EventLoopProfiler",
 ]

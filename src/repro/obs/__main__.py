@@ -1,0 +1,233 @@
+"""CLI for the flight recorder and the event-loop profiler.
+
+.. code-block:: console
+
+    # run a scenario and export the Perfetto/Chrome trace
+    python -m repro.obs export --topo ring-4 --cut 0-1
+
+    # print the causal chain behind every switch's table load
+    python -m repro.obs why --topo ring-4 --cut 0-1
+
+    # the CI throughput baseline: hotspots + events_per_sec as repro.bench/1
+    python -m repro.obs profile --topo torus-3x4 --cut 0-1 --json profile.json
+
+Each subcommand runs the same scenario: build the topology, converge,
+apply the requested link cuts, reconverge.  ``export`` writes a
+``repro.obs.flight/1`` document loadable at https://ui.perfetto.dev;
+``why`` answers section 6.7's question ("why did this epoch happen?")
+from the recorded parent chain; ``profile`` measures the simulator
+itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from repro.constants import SEC
+from repro.network import Network
+from repro.obs.export import bench_document, bench_result, write_document
+from repro.obs.flight import CAT_EPOCH, CAT_PORT, render_chain
+from repro.obs.perfetto import write_trace
+from repro.topology.generators import resolve_topology
+
+
+def _parse_cut(text: str) -> Tuple[int, int]:
+    try:
+        a, b = text.split("-", 1)
+        return int(a), int(b)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a cut like 0-1 (two switch indices), got {text!r}"
+        )
+
+
+def _run_scenario(
+    topo: str,
+    cuts: List[Tuple[int, int]],
+    seed: int,
+    flight: bool = True,
+    capacity: int = 65536,
+    profile: bool = False,
+) -> Network:
+    spec = resolve_topology(topo)
+    net = Network(
+        spec, seed=seed, flight=flight, flight_capacity=capacity, profile=profile
+    )
+    if not net.run_until_converged(timeout_ns=60 * SEC):
+        print("warning: initial configuration did not converge", file=sys.stderr)
+    for a, b in cuts:
+        net.cut_link(a, b)
+    if cuts and not net.run_until_converged(timeout_ns=60 * SEC):
+        print("warning: post-cut reconfiguration did not converge", file=sys.stderr)
+    return net
+
+
+def _table_load_chains(net: Network):
+    """(epoch, [(switch, chain)]) for the final epoch's table loads."""
+    rec = net.flight
+    final = rec.last(category=CAT_EPOCH, name="table-loaded")
+    if final is None:
+        return None, []
+    epoch = final.attrs.get("epoch")
+    chains = []
+    for event in rec.events(category=CAT_EPOCH, name="table-loaded", epoch=epoch):
+        chains.append((event.component, rec.why(event)))
+    return epoch, chains
+
+
+def _cmd_export(args) -> int:
+    net = _run_scenario(args.topo, args.cut, args.seed, capacity=args.capacity)
+    out = args.out or f"{args.topo}.trace.json"
+    doc = net.flight_trace()
+    write_trace(out, doc)
+    rec = net.flight
+    flows = sum(1 for e in doc["traceEvents"] if e.get("ph") == "s")
+    print(
+        f"wrote {out}: {len(doc['traceEvents'])} trace events "
+        f"({rec.total_recorded} recorded, {rec.total_dropped} dropped, "
+        f"{flows} message flows) -- load it at https://ui.perfetto.dev"
+    )
+    epoch, chains = _table_load_chains(net)
+    if epoch is not None:
+        rooted = sum(
+            1
+            for _sw, chain in chains
+            if any(e.category == CAT_PORT for e in chain)
+        )
+        print(
+            f"epoch {epoch}: {len(chains)} table loads, "
+            f"{rooted} causally rooted at a port-state transition"
+        )
+    return 0
+
+
+def _cmd_why(args) -> int:
+    net = _run_scenario(args.topo, args.cut, args.seed, capacity=args.capacity)
+    epoch, chains = _table_load_chains(net)
+    if epoch is None:
+        print("no table-loaded events were recorded")
+        return 1
+    print(f"message wave of epoch {epoch} (first arrival per switch):")
+    for entry in net.flight.wave(epoch):
+        print(
+            f"  {entry['t_ns'] / 1e6:>10.3f} ms  {entry['component']}"
+            f"  ({entry['event']})"
+        )
+    for switch, chain in chains:
+        print()
+        print(f"why did {switch} load its table in epoch {epoch}?")
+        print(render_chain(chain))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    net = _run_scenario(
+        args.topo,
+        args.cut,
+        args.seed,
+        flight=args.trace is not None,
+        capacity=args.capacity,
+        profile=True,
+    )
+    profiler = net.profiler
+    print(profiler.render())
+    if args.trace:
+        net.export_flight_trace(args.trace)
+        print(f"wrote {args.trace}")
+    if args.json:
+        summary = profiler.summary()
+        doc = bench_document(
+            bench="obs-profile",
+            title="Event-loop profiler",
+            seed=args.seed,
+            results=[
+                bench_result(
+                    name="hotspots",
+                    title=f"Handler hotspots on {args.topo}",
+                    headers=["handler", "events", "wall_ns", "mean_ns", "share"],
+                    rows=[
+                        [
+                            h["handler"],
+                            h["events"],
+                            h["wall_ns"],
+                            h["mean_ns"],
+                            h["share"],
+                        ]
+                        for h in summary["hotspots"]
+                    ],
+                    notes=(
+                        "wall-clock attribution per handler category; "
+                        "events_per_sec is the ROADMAP throughput baseline"
+                    ),
+                    telemetry={
+                        "events_per_sec": summary["events_per_sec"],
+                        "events": summary["events"],
+                        "run_wall_ns": summary["run_wall_ns"],
+                        "handler_wall_ns": summary["handler_wall_ns"],
+                        "sim_ns": net.sim.now,
+                    },
+                )
+            ],
+        )
+        write_document(args.json, doc)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Flight-recorder tooling: trace export, causal "
+        "queries, and the event-loop profiler.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scenario_args(p) -> None:
+        p.add_argument(
+            "--topo", default="ring-4", help="topology name (default ring-4)"
+        )
+        p.add_argument(
+            "--cut",
+            type=_parse_cut,
+            action="append",
+            default=[],
+            metavar="A-B",
+            help="cut the link between switches A and B (repeatable)",
+        )
+        p.add_argument("--seed", type=int, default=0, help="simulation seed")
+        p.add_argument(
+            "--capacity",
+            type=int,
+            default=65536,
+            help="flight-ring capacity per component (default 65536)",
+        )
+
+    p_export = sub.add_parser("export", help="run a scenario, write the trace")
+    add_scenario_args(p_export)
+    p_export.add_argument(
+        "--out", default=None, metavar="PATH", help="output path (default <topo>.trace.json)"
+    )
+    p_export.set_defaults(fn=_cmd_export)
+
+    p_why = sub.add_parser("why", help="print causal chains behind table loads")
+    add_scenario_args(p_why)
+    p_why.set_defaults(fn=_cmd_why)
+
+    p_profile = sub.add_parser("profile", help="profile the event loop")
+    add_scenario_args(p_profile)
+    p_profile.add_argument(
+        "--json", default=None, metavar="PATH", help="write a repro.bench/1 document here"
+    )
+    p_profile.add_argument(
+        "--trace", default=None, metavar="PATH", help="also record and write a flight trace"
+    )
+    p_profile.set_defaults(fn=_cmd_profile)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

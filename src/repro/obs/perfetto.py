@@ -1,0 +1,383 @@
+"""Chrome ``trace_event`` / Perfetto export of a flight recording.
+
+Renders a whole reconfiguration as a timeline: one track (thread) per
+switch, epochs as slices between that switch's ``epoch-start`` (its
+forwarding table drops to one-hop entries) and its ``table-loaded``
+(step 5 finished, the switch reopens), phase marks and port transitions
+as instants, and every control-message hop as a flow arrow from the send
+on the sender's track to the receive on the receiver's track.  The §6.7
+merged circular log, when provided, appears as its own track instead of
+living in a parallel, export-less world.
+
+The emitted document is simultaneously
+
+* a valid Chrome/Perfetto trace -- load it at https://ui.perfetto.dev or
+  ``chrome://tracing`` (both ignore unknown top-level keys), and
+* a ``repro.obs.flight/1`` artifact: the ``schema`` key, per-component
+  drop counts under ``otherData``, and ``eid``/``parent`` in every
+  event's ``args`` so the causal chains survive the export and can be
+  walked offline.
+
+``validate_trace`` is a hand-rolled structural check (the container has
+no ``jsonschema``): field presence/types per phase, matched B/E slice
+nesting per track, and flow bind-id resolution (every flow finish has an
+earlier flow start with the same id).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.obs.export import SchemaError
+from repro.obs.flight import (
+    CAT_EPOCH,
+    CAT_LOG,
+    CAT_MESSAGE,
+    FlightRecorder,
+)
+
+#: bump when the trace document layout changes incompatibly
+FLIGHT_SCHEMA = "repro.obs.flight/1"
+
+#: single simulated process; tracks are threads within it
+PID = 1
+
+#: tid reserved for the bridged §6.7 merged log track
+MERGED_LOG_TID = 1000
+
+
+def _us(t_ns: int) -> float:
+    """trace_event timestamps are microseconds."""
+    return t_ns / 1000.0
+
+
+def _args(event) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"eid": event.eid}
+    if event.parent is not None:
+        out["parent"] = event.parent
+    for key, value in event.attrs.items():
+        if value is None:
+            continue
+        out[key] = (
+            value if isinstance(value, (int, float, str, bool)) else str(value)
+        )
+    return out
+
+
+def trace_event_document(
+    recorder: FlightRecorder,
+    merged_log=None,
+    name: str = "autonet",
+) -> Dict[str, Any]:
+    """Build the ``repro.obs.flight/1`` / Chrome trace_event document.
+
+    ``merged_log`` is an optional :class:`repro.sim.trace.MergedLog`;
+    its clock-normalized entries become instants on a dedicated track.
+    """
+    events: List[Dict[str, Any]] = []
+    components = recorder.components()
+    tids = {component: tid for tid, component in enumerate(components, start=1)}
+
+    events.append(
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": PID,
+            "tid": 0,
+            "args": {"name": name},
+        }
+    )
+    for component, tid in tids.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": PID,
+                "tid": tid,
+                "args": {"name": component},
+            }
+        )
+
+    #: per-tid stack of open epoch slices, for matched B/E emission
+    open_slices: Dict[int, List[int]] = {tid: [] for tid in tids.values()}
+    #: flow-start ids already emitted (binds must resolve)
+    flow_started: set = set()
+    last_ts = 0
+
+    def close_slices(tid: int, t_ns: int, down_to: int = 0) -> None:
+        while len(open_slices[tid]) > down_to:
+            epoch = open_slices[tid].pop()
+            events.append(
+                {
+                    "ph": "E",
+                    "name": f"epoch {epoch}",
+                    "cat": CAT_EPOCH,
+                    "ts": _us(t_ns),
+                    "pid": PID,
+                    "tid": tid,
+                }
+            )
+
+    for event in recorder.events():
+        tid = tids[event.component]
+        ts = _us(event.t_ns)
+        last_ts = max(last_ts, event.t_ns)
+
+        if event.category == CAT_EPOCH and event.name == "epoch-start":
+            # a new epoch preempts anything still open on this track
+            close_slices(tid, event.t_ns)
+            open_slices[tid].append(event.attrs.get("epoch"))
+            events.append(
+                {
+                    "ph": "B",
+                    "name": f"epoch {event.attrs.get('epoch')}",
+                    "cat": CAT_EPOCH,
+                    "ts": ts,
+                    "pid": PID,
+                    "tid": tid,
+                    "args": _args(event),
+                }
+            )
+            continue
+        if event.category == CAT_EPOCH and event.name == "table-loaded":
+            events.append(
+                {
+                    "ph": "i",
+                    "name": "table-loaded",
+                    "cat": CAT_EPOCH,
+                    "s": "t",
+                    "ts": ts,
+                    "pid": PID,
+                    "tid": tid,
+                    "args": _args(event),
+                }
+            )
+            close_slices(tid, event.t_ns)
+            continue
+
+        if event.category == CAT_MESSAGE:
+            msg = str(event.attrs.get("msg", "msg"))
+            if event.name == "msg-send":
+                # a zero-width slice anchors the flow arrow's tail
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": msg,
+                        "cat": CAT_MESSAGE,
+                        "ts": ts,
+                        "dur": 1,
+                        "pid": PID,
+                        "tid": tid,
+                        "args": _args(event),
+                    }
+                )
+                events.append(
+                    {
+                        "ph": "s",
+                        "name": msg,
+                        "cat": CAT_MESSAGE,
+                        "id": event.eid,
+                        "ts": ts,
+                        "pid": PID,
+                        "tid": tid,
+                    }
+                )
+                flow_started.add(event.eid)
+            else:  # msg-recv
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": msg,
+                        "cat": CAT_MESSAGE,
+                        "ts": ts,
+                        "dur": 1,
+                        "pid": PID,
+                        "tid": tid,
+                        "args": _args(event),
+                    }
+                )
+                flow = event.attrs.get("flow")
+                if flow in flow_started:
+                    events.append(
+                        {
+                            "ph": "f",
+                            "bp": "e",
+                            "name": msg,
+                            "cat": CAT_MESSAGE,
+                            "id": flow,
+                            "ts": ts,
+                            "pid": PID,
+                            "tid": tid,
+                        }
+                    )
+            continue
+
+        # everything else (port transitions, timers, table loads, other
+        # epoch phase marks) renders as a thread-scoped instant
+        events.append(
+            {
+                "ph": "i",
+                "name": event.name,
+                "cat": event.category,
+                "s": "t",
+                "ts": ts,
+                "pid": PID,
+                "tid": tid,
+                "args": _args(event),
+            }
+        )
+
+    # epochs still in flight at export time: close them at the last
+    # timestamp so every B has its E (the validator insists)
+    for tid in tids.values():
+        close_slices(tid, last_ts)
+
+    if merged_log is not None:
+        merged = merged_log.merged()
+        if merged:
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": PID,
+                    "tid": MERGED_LOG_TID,
+                    "args": {"name": "merged-log (§6.7)"},
+                }
+            )
+            for entry in merged:
+                events.append(
+                    {
+                        "ph": "i",
+                        "name": entry.event,
+                        "cat": CAT_LOG,
+                        "s": "t",
+                        "ts": _us(entry.local_time),
+                        "pid": PID,
+                        "tid": MERGED_LOG_TID,
+                        "args": {
+                            "component": entry.component,
+                            "detail": entry.detail,
+                        },
+                    }
+                )
+
+    return {
+        "schema": FLIGHT_SCHEMA,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "recorded": recorder.total_recorded,
+            "dropped": recorder.total_dropped,
+            "dropped_by_component": recorder.dropped_by_component(),
+            "components": components,
+        },
+        "traceEvents": events,
+    }
+
+
+# -- the structural validator ---------------------------------------------------------
+
+#: phases this exporter emits; anything else is a validation error
+_KNOWN_PH = frozenset({"M", "B", "E", "i", "I", "X", "s", "t", "f"})
+
+
+def _fail(path: str, why: str) -> None:
+    raise SchemaError(f"{path}: {why}")
+
+
+def validate_trace(doc: Any) -> Dict[str, Any]:
+    """Structurally validate a flight trace document; returns it.
+
+    Checks, per event: ``ph``/``pid``/``tid`` presence and types, a
+    numeric non-negative ``ts`` on every non-metadata event, a ``name``
+    where the phase requires one, ``dur`` on complete events, ``id`` on
+    flow events.  Globally: B/E events nest and match per track, and
+    every flow finish binds to an earlier flow start with the same id.
+    """
+    if not isinstance(doc, dict):
+        _fail("$", f"expected object, got {type(doc).__name__}")
+    if doc.get("schema") != FLIGHT_SCHEMA:
+        _fail("$.schema", f"expected {FLIGHT_SCHEMA!r}, got {doc.get('schema')!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        _fail("$.traceEvents", "expected array")
+
+    slice_stacks: Dict[tuple, List[str]] = {}
+    flow_starts: set = set()
+    for i, event in enumerate(events):
+        path = f"$.traceEvents[{i}]"
+        if not isinstance(event, dict):
+            _fail(path, "expected object")
+        ph = event.get("ph")
+        if ph not in _KNOWN_PH:
+            _fail(f"{path}.ph", f"unknown phase {ph!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                _fail(f"{path}.{field}", "expected int")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+                _fail(f"{path}.ts", f"expected non-negative number, got {ts!r}")
+        if ph in ("M", "B", "i", "I", "X", "s", "f"):
+            if not isinstance(event.get("name"), str) or not event["name"]:
+                _fail(f"{path}.name", "expected non-empty string")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                _fail(f"{path}.dur", "complete event needs a non-negative dur")
+        track = (event.get("pid"), event.get("tid"))
+        if ph == "B":
+            slice_stacks.setdefault(track, []).append(event["name"])
+        elif ph == "E":
+            stack = slice_stacks.get(track)
+            if not stack:
+                _fail(path, f"slice end with no open slice on track {track}")
+            opened = stack.pop()
+            ended = event.get("name")
+            if ended is not None and ended != opened:
+                _fail(path, f"slice end {ended!r} does not match open {opened!r}")
+        elif ph in ("s", "f"):
+            flow_id = event.get("id")
+            if not isinstance(flow_id, (int, str)):
+                _fail(f"{path}.id", "flow event needs an id")
+            if ph == "s":
+                flow_starts.add(flow_id)
+            elif flow_id not in flow_starts:
+                _fail(f"{path}.id", f"flow finish {flow_id!r} has no earlier start")
+    for track, stack in slice_stacks.items():
+        if stack:
+            _fail("$", f"track {track} ends with unclosed slices: {stack}")
+    return doc
+
+
+# -- file I/O ---------------------------------------------------------------------------
+
+
+def write_trace(path: str, doc: Dict[str, Any]) -> None:
+    """Validate and write a flight trace document as JSON."""
+    validate_trace(doc)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+
+
+def read_trace(path: str) -> Dict[str, Any]:
+    """Load and validate a flight trace document from disk."""
+    with open(path) as fh:
+        return validate_trace(json.load(fh))
+
+
+def chains_from_trace(doc: Dict[str, Any]) -> Dict[int, Optional[int]]:
+    """Offline parent map (eid -> parent) recovered from a trace file's
+    ``args``, so ``why``-style walks work without the live recorder."""
+    parents: Dict[int, Optional[int]] = {}
+    for event in doc.get("traceEvents", []):
+        args = event.get("args") or {}
+        eid = args.get("eid")
+        if isinstance(eid, int):
+            parents[eid] = args.get("parent")
+    return parents

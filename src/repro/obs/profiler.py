@@ -1,0 +1,130 @@
+"""The event-loop profiler: wall-clock attribution per handler category.
+
+The ROADMAP promises "as fast as the hardware allows", and until now the
+``BENCH_*`` trajectory had no throughput number to hold that promise to.
+:class:`EventLoopProfiler` attaches to a :class:`~repro.sim.engine.
+Simulator` (``sim.profiler = profiler``) and, for every dispatched event,
+accounts the handler's wall-clock time and count under its qualified
+name -- ``Autopilot._process``, ``TaskScheduler._start_task``,
+``Transmitter._end`` and friends -- which is exactly the granularity an
+optimization pass works at.
+
+Output is a hotspots table (sorted by total wall time) plus the headline
+``events_per_sec`` figure: simulation events dispatched per wall-clock
+second of ``run()``.  ``python -m repro.obs profile`` wraps this in a
+``repro.bench/1`` document so CI tracks the number per commit, and
+``analysis.doctor`` renders the same summary for operators.
+
+Profiling is observational only: it never changes what the simulation
+does, just how long the loop takes (the two ``perf_counter_ns`` calls
+per event cost roughly 100 ns).  Like the flight recorder, a detached
+profiler (``sim.profiler is None``, the default) costs one attribute
+load and a ``None`` test per dispatched event.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter_ns
+from typing import Any, Dict, List, Optional
+
+
+class HandlerStats:
+    """Accumulated cost of one handler category."""
+
+    __slots__ = ("category", "count", "wall_ns")
+
+    def __init__(self, category: str) -> None:
+        self.category = category
+        self.count = 0
+        self.wall_ns = 0
+
+    @property
+    def mean_ns(self) -> float:
+        return self.wall_ns / self.count if self.count else 0.0
+
+
+class EventLoopProfiler:
+    """Per-handler wall-clock and event-count accounting."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, HandlerStats] = {}
+        #: events dispatched while attached
+        self.events = 0
+        #: wall time spent inside handlers
+        self.handler_wall_ns = 0
+        #: wall time spent inside Simulator.run (handlers + loop overhead)
+        self.run_wall_ns = 0
+        self._run_started: Optional[int] = None
+
+    # -- hooks called by the simulator -------------------------------------------------
+
+    def begin_run(self) -> None:
+        self._run_started = perf_counter_ns()
+
+    def end_run(self) -> None:
+        if self._run_started is not None:
+            self.run_wall_ns += perf_counter_ns() - self._run_started
+            self._run_started = None
+
+    def account(self, category: str, wall_ns: int) -> None:
+        stats = self._stats.get(category)
+        if stats is None:
+            stats = self._stats[category] = HandlerStats(category)
+        stats.count += 1
+        stats.wall_ns += wall_ns
+        self.events += 1
+        self.handler_wall_ns += wall_ns
+
+    # -- results -----------------------------------------------------------------------
+
+    def events_per_sec(self) -> float:
+        """Simulation events dispatched per wall-clock second of run()."""
+        if self.run_wall_ns <= 0:
+            return 0.0
+        return self.events / (self.run_wall_ns / 1e9)
+
+    def hotspots(self, limit: Optional[int] = None) -> List[HandlerStats]:
+        """Handler categories by total wall time, hottest first."""
+        ranked = sorted(
+            self._stats.values(), key=lambda s: (-s.wall_ns, s.category)
+        )
+        return ranked if limit is None else ranked[:limit]
+
+    def summary(self, limit: int = 20) -> Dict[str, Any]:
+        """JSON-ready profile: headline figures plus the hotspots table."""
+        total = self.handler_wall_ns or 1
+        return {
+            "events": self.events,
+            "run_wall_ns": self.run_wall_ns,
+            "handler_wall_ns": self.handler_wall_ns,
+            "events_per_sec": round(self.events_per_sec(), 1),
+            "hotspots": [
+                {
+                    "handler": s.category,
+                    "events": s.count,
+                    "wall_ns": s.wall_ns,
+                    "mean_ns": round(s.mean_ns, 1),
+                    "share": round(s.wall_ns / total, 4),
+                }
+                for s in self.hotspots(limit)
+            ],
+        }
+
+    def render(self, limit: int = 15) -> str:
+        """The hotspots table as text, for terminals and the doctor."""
+        lines = [
+            f"event-loop profile: {self.events} events in "
+            f"{self.run_wall_ns / 1e9:.3f}s wall "
+            f"({self.events_per_sec():,.0f} events/sec)"
+        ]
+        lines.append(
+            f"  {'handler':<44} {'events':>9} {'wall ms':>9} "
+            f"{'mean us':>9} {'share':>6}"
+        )
+        total = self.handler_wall_ns or 1
+        for s in self.hotspots(limit):
+            lines.append(
+                f"  {s.category:<44} {s.count:>9} {s.wall_ns / 1e6:>9.2f} "
+                f"{s.mean_ns / 1e3:>9.2f} {s.wall_ns / total:>6.1%}"
+            )
+        return "\n".join(lines)

@@ -14,6 +14,7 @@ the broadcast deadlock in section 6.6.6 of the paper.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter_ns
 from typing import Any, Callable, List, Optional
 
 from repro.obs.registry import MetricsRegistry
@@ -22,7 +23,7 @@ from repro.obs.registry import MetricsRegistry
 class EventHandle:
     """Cancellable reference to a scheduled event."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "ctx")
 
     def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -30,6 +31,10 @@ class EventHandle:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: flight-recorder causal context captured at schedule time (the
+        #: eid of the event being handled when this one was scheduled);
+        #: None when no recorder is attached or the event is a causal root
+        self.ctx: Optional[int] = None
 
     def cancel(self) -> None:
         """Prevent the event from running.  Safe to call more than once."""
@@ -63,6 +68,16 @@ class Simulator:
         #: collectors over the counters the loop keeps anyway.
         self.metrics = MetricsRegistry(enabled=False)
         self._metrics_registered = False
+        #: optional flight recorder (repro.obs.flight.FlightRecorder).
+        #: None (the default) is the fast path: every hook site in the
+        #: simulation is then one attribute load plus a None test, and no
+        #: event objects are allocated.  Attach before building
+        #: components so boot-time events are captured.
+        self.recorder = None
+        #: optional event-loop profiler (repro.obs.profiler.
+        #: EventLoopProfiler); None disables the per-event perf_counter
+        #: calls entirely.
+        self.profiler = None
 
     def enable_metrics(self) -> None:
         """Turn on telemetry and publish the engine's own series."""
@@ -83,6 +98,10 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         self._seq += 1
         handle = EventHandle(int(time), self._seq, fn, args)
+        if self.recorder is not None:
+            # causality flows through the event loop: the scheduled event
+            # inherits the context of whatever scheduled it
+            handle.ctx = self.recorder.current
         heapq.heappush(self._queue, handle)
         return handle
 
@@ -123,6 +142,8 @@ class Simulator:
         self._running = True
         self._stopped = False
         dispatched = 0
+        if self.profiler is not None:
+            self.profiler.begin_run()
         try:
             while not self._stopped:
                 handle = self._pop_runnable()
@@ -139,13 +160,28 @@ class Simulator:
                 self.now = handle.time
                 fn, args = handle.fn, handle.args
                 handle.cancel()
-                fn(*args)
+                recorder = self.recorder
+                if recorder is not None:
+                    # restore the causal context captured at schedule time
+                    recorder.current = handle.ctx
+                profiler = self.profiler
+                if profiler is not None:
+                    started = perf_counter_ns()
+                    fn(*args)
+                    profiler.account(
+                        getattr(fn, "__qualname__", str(fn)),
+                        perf_counter_ns() - started,
+                    )
+                else:
+                    fn(*args)
                 self.events_dispatched += 1
                 dispatched += 1
                 if max_events is not None and dispatched >= max_events:
                     break
         finally:
             self._running = False
+            if self.profiler is not None:
+                self.profiler.end_run()
         return self.now
 
     def run_for(self, duration: int) -> int:

@@ -15,11 +15,19 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.constants import TIMEOUT_RESOLUTION_NS
+from repro.obs.flight import CAT_TIMER
 from repro.sim.engine import EventHandle, Simulator
 
 
 class Periodic:
-    """Run a callback every ``period`` ns until cancelled."""
+    """Run a callback every ``period`` ns until cancelled.
+
+    ``name`` and ``owner`` identify the timer to an attached flight
+    recorder; unnamed periodics stay silent.  Each tick is recorded as a
+    causal *root* (the re-armed handle's context is detached), so chains
+    start at the firing instead of trailing back through every earlier
+    tick of the same timer.
+    """
 
     def __init__(
         self,
@@ -27,21 +35,53 @@ class Periodic:
         period: int,
         fn: Callable[[], Any],
         start_after: Optional[int] = None,
+        name: Optional[str] = None,
+        owner: Optional[str] = None,
     ) -> None:
         if period <= 0:
             raise ValueError(f"period must be positive: {period}")
         self._sim = sim
         self.period = period
         self._fn = fn
+        self.name = name
+        self.owner = owner or "sim"
         self._handle: Optional[EventHandle] = None
         self._cancelled = False
         delay = period if start_after is None else start_after
         self._handle = sim.after(delay, self._tick)
+        self._handle.ctx = None
+        self._record("timer-arm")
+
+    def _record(self, event: str) -> None:
+        rec = self._sim.recorder
+        if rec is not None and self.name is not None:
+            rec.record(
+                self._sim.now,
+                self.owner,
+                CAT_TIMER,
+                event,
+                advance=False,
+                timer=self.name,
+                period_ns=self.period,
+            )
 
     def _tick(self) -> None:
         if self._cancelled:
             return
         self._handle = self._sim.after(self.period, self._tick)
+        self._handle.ctx = None
+        rec = self._sim.recorder
+        if rec is not None and self.name is not None:
+            # parent=None: the firing is a causal root, and advancing the
+            # context makes everything the callback does chain to it
+            rec.record(
+                self._sim.now,
+                self.owner,
+                CAT_TIMER,
+                "timer-fire",
+                parent=None,
+                timer=self.name,
+            )
         self._fn()
 
     def cancel(self) -> None:
@@ -49,6 +89,7 @@ class Periodic:
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
+            self._record("timer-cancel")
 
     @property
     def active(self) -> bool:
@@ -64,9 +105,16 @@ class TaskScheduler:
     queue does.
     """
 
-    def __init__(self, sim: Simulator, resolution: int = TIMEOUT_RESOLUTION_NS) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        resolution: int = TIMEOUT_RESOLUTION_NS,
+        owner: Optional[str] = None,
+    ) -> None:
         self.sim = sim
         self.resolution = resolution
+        #: component name flight-recorded timer events are attributed to
+        self.owner = owner or "sim"
         #: simulated time at which the processor next becomes free
         self._busy_until: int = 0
         #: total CPU time consumed (for utilization metrics)
@@ -91,15 +139,38 @@ class TaskScheduler:
         behind it.
         """
         due = self._quantize(self.sim.now + delay)
+        rec = self.sim.recorder
+        if rec is not None:
+            rec.record(
+                self.sim.now,
+                self.owner,
+                CAT_TIMER,
+                "timer-arm",
+                advance=False,
+                task=getattr(fn, "__qualname__", str(fn)),
+                due_ns=due,
+            )
         return self.sim.at(due, self._start_task, fn, args, cost)
 
     def run_soon(self, fn: Callable[..., Any], *args: Any, cost: int = 0) -> EventHandle:
         """Run ``fn`` as soon as the processor is free (no quantization)."""
         return self.sim.call_soon(self._start_task, fn, args, cost)
 
-    def every(self, period: int, fn: Callable[[], Any], cost: int = 0) -> Periodic:
+    def every(
+        self,
+        period: int,
+        fn: Callable[[], Any],
+        cost: int = 0,
+        name: Optional[str] = None,
+    ) -> Periodic:
         """Run ``fn`` periodically, charging ``cost`` CPU per invocation."""
-        return Periodic(self.sim, period, lambda: self._start_task(fn, (), cost))
+        return Periodic(
+            self.sim,
+            period,
+            lambda: self._start_task(fn, (), cost),
+            name=name,
+            owner=self.owner,
+        )
 
     def _start_task(self, fn: Callable[..., Any], args: tuple, cost: int) -> None:
         if self.sim.now < self._busy_until:

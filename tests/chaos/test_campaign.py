@@ -146,6 +146,36 @@ def test_restart_mid_reconfiguration_fixture_replays_clean():
     assert result.injected.get("restart-switch") == 1
 
 
+def test_replay_with_trace_writes_valid_flight_trace(tmp_path):
+    """--trace on a replay captures the causal timeline of the very run
+    the reproducer provokes, as a validated Perfetto document."""
+    from repro.obs.perfetto import read_trace
+
+    path = os.path.join(FIXTURES, "restart_mid_reconfig.json")
+    trace_path = str(tmp_path / "replay.trace.json")
+    result = replay_artifact(path, trace_path=trace_path)
+    assert result.passed, result.violations
+    trace = read_trace(trace_path)  # raises SchemaError if malformed
+    events = trace["traceEvents"]
+    assert any(e.get("ph") == "s" for e in events), "expected message flows"
+    assert trace["otherData"]["recorded"] > 0
+
+
+def test_run_schedule_result_unchanged_by_tracing(tmp_path):
+    """The flight recorder is observational: tracing a schedule must not
+    change what the schedule does."""
+    runner = CampaignRunner(quick_config(schedules=1))
+    schedule = runner.sample_schedule(0)
+    plain = runner.run_schedule(schedule)
+    traced = runner.run_schedule(
+        schedule, trace_path=str(tmp_path / "s.trace.json")
+    )
+    assert plain.passed == traced.passed
+    assert plain.sim_ns == traced.sim_ns
+    assert plain.epochs == traced.epochs
+    assert plain.injected == traced.injected
+
+
 def test_unknown_topology_is_rejected_with_suggestions():
     with pytest.raises(ValueError):
         CampaignRunner(quick_config(topology="moebius-9"))
