@@ -272,6 +272,41 @@ def flight_report(network, hotspot_limit: int = 8) -> str:
     return "\n".join(lines)
 
 
+def staticcheck_report(roots=("src",), baseline_path=None) -> str:
+    """The ``staticcheck`` section of the doctor's output: does the tree
+    still honor the determinism / purity / observability / hygiene
+    disciplines (``RS1xx``-``RS4xx``)?  Runs the same suite as the CI
+    gate and renders its verdict plus any active findings."""
+    from pathlib import Path
+
+    from repro.staticcheck import Baseline, find_default_baseline, run_suite
+
+    if baseline_path is None:
+        baseline_path = find_default_baseline()
+    baseline = Baseline.load(baseline_path) if baseline_path else None
+    existing = [Path(r) for r in roots if Path(r).exists()]
+    lines = ["staticcheck:"]
+    if not existing:
+        lines.append(f"  (no scan roots found among {', '.join(map(str, roots))})")
+        return "\n".join(lines)
+    result = run_suite(existing, baseline=baseline)
+    verdict = "OK" if result.ok else "FAIL"
+    lines.append(
+        f"  {verdict}: {result.files_scanned} files, "
+        f"{len(result.findings)} active finding(s), "
+        f"{len(result.suppressed)} baselined"
+    )
+    for finding in result.findings[:20]:
+        lines.append(f"    {finding.location()}: {finding.rule}: {finding.message}")
+    if len(result.findings) > 20:
+        lines.append(f"    ... and {len(result.findings) - 20} more")
+    for entry in result.stale_suppressions:
+        lines.append(
+            f"    stale baseline entry: {entry['rule']} at {entry['path']}"
+        )
+    return "\n".join(lines)
+
+
 def campaign_report(doc) -> str:
     """Render a chaos-campaign ``repro.bench/1`` document as a text report.
 

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, FrozenSet
+from types import MappingProxyType
+from typing import FrozenSet, Mapping
 
 
 class PortState(Enum):
@@ -27,21 +28,21 @@ class PortState(Enum):
 
 
 #: transitions owned by the status sampler (black arrows of Figure 8)
-SAMPLER_TRANSITIONS: Dict[PortState, FrozenSet[PortState]] = {
+SAMPLER_TRANSITIONS: Mapping[PortState, FrozenSet[PortState]] = MappingProxyType({
     PortState.DEAD: frozenset({PortState.CHECKING}),
     PortState.CHECKING: frozenset({PortState.HOST, PortState.SWITCH_WHO, PortState.DEAD}),
     PortState.HOST: frozenset({PortState.DEAD}),
     PortState.SWITCH_WHO: frozenset({PortState.DEAD}),
     PortState.SWITCH_LOOP: frozenset({PortState.DEAD}),
     PortState.SWITCH_GOOD: frozenset({PortState.DEAD}),
-}
+})
 
 #: transitions owned by the connectivity monitor (gray arrows of Figure 8)
-MONITOR_TRANSITIONS: Dict[PortState, FrozenSet[PortState]] = {
+MONITOR_TRANSITIONS: Mapping[PortState, FrozenSet[PortState]] = MappingProxyType({
     PortState.SWITCH_WHO: frozenset({PortState.SWITCH_LOOP, PortState.SWITCH_GOOD}),
     PortState.SWITCH_LOOP: frozenset({PortState.SWITCH_WHO}),
     PortState.SWITCH_GOOD: frozenset({PortState.SWITCH_WHO}),
-}
+})
 
 
 def transition_allowed(src: PortState, dst: PortState) -> bool:

@@ -34,7 +34,7 @@ class Directive(Enum):
 
 
 #: directives that permit transmission when latched at the transmitter
-_PERMITS_TRANSMISSION = {Directive.START, Directive.HOST}
+_PERMITS_TRANSMISSION = frozenset({Directive.START, Directive.HOST})
 
 
 def next_fc_slot(now: int, phase: int) -> int:

@@ -22,7 +22,7 @@ has to recognize (sections 6.5.2, 7):
 from __future__ import annotations
 
 from enum import Enum
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from repro.constants import BYTE_TIME_NS, BYTES_IN_FLIGHT_PER_KM
 from repro.net.fifo import DrainTarget
@@ -123,7 +123,7 @@ class Link:
             self.state is LinkState.REFLECTING_B and sender is self.b
         )
 
-    def _route(self, sender: Endpoint):
+    def _route(self, sender: Endpoint) -> Optional[Tuple[Endpoint, int]]:
         """Return (receiver, delay) for a transmission, or None if lost."""
         if self.state is LinkState.CUT:
             return None

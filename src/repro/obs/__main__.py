@@ -37,10 +37,10 @@ def _parse_cut(text: str) -> Tuple[int, int]:
     try:
         a, b = text.split("-", 1)
         return int(a), int(b)
-    except ValueError:
+    except ValueError as exc:
         raise argparse.ArgumentTypeError(
             f"expected a cut like 0-1 (two switch indices), got {text!r}"
-        )
+        ) from exc
 
 
 def _run_scenario(

@@ -25,10 +25,11 @@ class EventHandle:
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "ctx")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any],
+                 args: tuple) -> None:
         self.time = time
         self.seq = seq
-        self.fn = fn
+        self.fn: Optional[Callable[..., Any]] = fn
         self.args = args
         self.cancelled = False
         #: flight-recorder causal context captured at schedule time (the
@@ -160,6 +161,7 @@ class Simulator:
                 self.now = handle.time
                 fn, args = handle.fn, handle.args
                 handle.cancel()
+                assert fn is not None  # runnable handles always hold their callable
                 recorder = self.recorder
                 if recorder is not None:
                     # restore the causal context captured at schedule time

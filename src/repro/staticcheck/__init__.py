@@ -1,0 +1,70 @@
+"""``repro.staticcheck``: determinism & protocol-discipline linter.
+
+A pure-stdlib :mod:`ast` analysis suite that proves this repo's replay
+contract statically instead of waiting for the CI double-run (or a
+nightly chaos campaign) to flake:
+
+* **RS1xx determinism** -- no wall clock, no global randomness, no
+  hash-ordered iteration feeding the event schedule.
+* **RS2xx event-handler purity** -- no blocking I/O or prints on the hot
+  path, no cross-component state writes.
+* **RS3xx observability discipline** -- literal metric names, bounded
+  label cardinality, the one-load + ``None``-test recorder pattern.
+* **RS4xx mutable-state hygiene** -- no mutable defaults, no hot-path
+  module globals.
+
+Run it with ``python -m repro.staticcheck src``; grandfather intentional
+exceptions in ``staticcheck-baseline.json`` (one justification each).
+"""
+
+from repro.staticcheck.baseline import (
+    Baseline,
+    BaselineError,
+    Suppression,
+    find_default_baseline,
+)
+from repro.staticcheck.framework import (
+    Finding,
+    ParsedModule,
+    Pass,
+    Rule,
+    SuiteResult,
+    all_rules,
+    check_module,
+    check_source,
+    default_passes,
+    run_suite,
+)
+from repro.staticcheck.report import (
+    SCHEMA,
+    SchemaError,
+    build_report,
+    read_report,
+    render_text,
+    validate_report,
+    write_report,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "Finding",
+    "ParsedModule",
+    "Pass",
+    "Rule",
+    "SCHEMA",
+    "SchemaError",
+    "SuiteResult",
+    "Suppression",
+    "all_rules",
+    "build_report",
+    "check_module",
+    "check_source",
+    "default_passes",
+    "find_default_baseline",
+    "read_report",
+    "render_text",
+    "run_suite",
+    "validate_report",
+    "write_report",
+]

@@ -1,0 +1,107 @@
+"""CLI: ``python -m repro.staticcheck [paths...]``.
+
+Exit codes: 0 clean (baselined findings allowed), 1 active findings or
+parse errors, 2 usage/configuration errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.staticcheck.baseline import (
+    Baseline,
+    BaselineError,
+    find_default_baseline,
+)
+from repro.staticcheck.framework import all_rules, run_suite
+from repro.staticcheck.report import build_report, render_text, write_report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description="AST-based determinism & protocol-discipline linter",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE",
+        help="write the repro.staticcheck/1 report document here",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="suppression file (default: nearest staticcheck-baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline: report every finding",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids or prefixes (e.g. RS1,RS203)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print only the verdict line",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also list baselined findings with their justifications",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.title}")
+            print(f"       protects: {rule.invariant}")
+            print(f"       motivated by: {rule.paper}")
+            print(f"       fix: {rule.hint}")
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    baseline = None
+    if not args.no_baseline:
+        baseline_path = (
+            Path(args.baseline) if args.baseline else find_default_baseline()
+        )
+        if args.baseline and not baseline_path.is_file():
+            print(f"error: baseline not found: {baseline_path}", file=sys.stderr)
+            return 2
+        if baseline_path is not None:
+            try:
+                baseline = Baseline.load(baseline_path)
+            except BaselineError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+
+    select = None
+    if args.select:
+        select = [s.strip() for s in args.select.split(",") if s.strip()]
+
+    result = run_suite([Path(p) for p in args.paths], select=select,
+                       baseline=baseline)
+    if args.json:
+        write_report(build_report(result), args.json)
+
+    text = render_text(result, verbose=args.verbose)
+    if args.quiet:
+        text = text.splitlines()[-1]
+    print(text)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""The ``repro.staticcheck/1`` report document.
+
+Sibling of ``repro.bench/1`` (:mod:`repro.obs.export`) and
+``repro.chaos/1`` (:mod:`repro.chaos.replay`): a JSON artifact CI
+uploads on every run, deterministic byte-for-byte for a given tree --
+findings are sorted, the rule table is sorted, and no timestamps or
+host details are embedded.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.staticcheck.framework import Pass, Rule, SuiteResult, all_rules
+
+SCHEMA = "repro.staticcheck/1"
+
+
+class SchemaError(ValueError):
+    """A document does not conform to ``repro.staticcheck/1``."""
+
+
+def build_report(result: SuiteResult,
+                 passes: Optional[Sequence[Pass]] = None) -> Dict[str, Any]:
+    """A JSON-ready document for one suite run."""
+    rules: List[Rule] = all_rules(passes)
+    return {
+        "schema": SCHEMA,
+        "tool": "repro.staticcheck",
+        "roots": list(result.roots),
+        "files_scanned": result.files_scanned,
+        "rules": [
+            {
+                "id": rule.id,
+                "title": rule.title,
+                "invariant": rule.invariant,
+                "paper": rule.paper,
+                "hint": rule.hint,
+            }
+            for rule in rules
+        ],
+        "findings": [f.to_json() for f in result.findings],
+        "suppressed": [f.to_json() for f in result.suppressed],
+        "stale_suppressions": list(result.stale_suppressions),
+        "summary": {
+            "findings": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "stale_suppressions": len(result.stale_suppressions),
+            "by_rule": result.by_rule(),
+            "ok": result.ok,
+        },
+    }
+
+
+def write_report(doc: Dict[str, Any], path: Union[str, Path]) -> None:
+    validate_report(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def read_report(path: Union[str, Path]) -> Dict[str, Any]:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    validate_report(doc)
+    return doc
+
+
+def validate_report(doc: Any) -> None:
+    """Structural check; raises :class:`SchemaError` on any violation."""
+    if not isinstance(doc, dict):
+        raise SchemaError(f"document must be an object, got {type(doc).__name__}")
+    if doc.get("schema") != SCHEMA:
+        raise SchemaError(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    for key in ("roots", "rules", "findings", "suppressed", "stale_suppressions"):
+        if not isinstance(doc.get(key), list):
+            raise SchemaError(f"{key!r} must be a list")
+    if not isinstance(doc.get("files_scanned"), int):
+        raise SchemaError("'files_scanned' must be an integer")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict) or not isinstance(summary.get("ok"), bool):
+        raise SchemaError("'summary' must be an object with a boolean 'ok'")
+    for rule in doc["rules"]:
+        if not (isinstance(rule, dict) and isinstance(rule.get("id"), str)
+                and rule["id"].startswith("RS")):
+            raise SchemaError(f"malformed rule entry: {rule!r}")
+    known_rules = {rule["id"] for rule in doc["rules"]}
+    for section in ("findings", "suppressed"):
+        for finding in doc[section]:
+            if not isinstance(finding, dict):
+                raise SchemaError(f"{section} entries must be objects")
+            for key, kind in (("rule", str), ("path", str), ("line", int),
+                              ("col", int), ("message", str)):
+                if not isinstance(finding.get(key), kind):
+                    raise SchemaError(
+                        f"{section} entry missing {key!r}: {finding!r}")
+            if finding["rule"] not in known_rules:
+                raise SchemaError(
+                    f"finding references unknown rule {finding['rule']!r}")
+        if section == "suppressed":
+            for finding in doc[section]:
+                if not finding.get("justification"):
+                    raise SchemaError(
+                        "suppressed findings must carry their justification")
+    counted = summary.get("findings")
+    if counted != len(doc["findings"]):
+        raise SchemaError(
+            f"summary.findings ({counted}) disagrees with the findings "
+            f"list ({len(doc['findings'])})")
+
+
+def render_text(result: SuiteResult, verbose: bool = False) -> str:
+    """Human-readable run summary for terminals and CI logs."""
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(f"{finding.location()}: {finding.rule}: {finding.message}")
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    if verbose and result.suppressed:
+        lines.append("")
+        lines.append(f"baselined ({len(result.suppressed)}):")
+        for finding in result.suppressed:
+            lines.append(
+                f"  {finding.location()}: {finding.rule} -- {finding.justification}")
+    for entry in result.stale_suppressions:
+        lines.append(
+            f"stale baseline entry: {entry['rule']} at {entry['path']} matched "
+            f"nothing (delete it?)")
+    verdict = "OK" if result.ok else "FAIL"
+    by_rule = ", ".join(f"{k}={v}" for k, v in result.by_rule().items())
+    lines.append(
+        f"staticcheck {verdict}: {result.files_scanned} files, "
+        f"{len(result.findings)} finding(s)"
+        + (f" [{by_rule}]" if by_rule else "")
+        + (f", {len(result.suppressed)} baselined" if result.suppressed else "")
+    )
+    return "\n".join(lines)

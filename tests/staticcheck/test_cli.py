@@ -1,0 +1,110 @@
+"""End-to-end CLI tests: the repo gates itself with its own linter."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+VIOLATING = (
+    "import random\n"
+    "\n"
+    "def jitter():\n"
+    "    return random.random()\n"
+)
+
+
+def run_cli(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.staticcheck", *args],
+        capture_output=True, text=True, cwd=cwd, env=env,
+    )
+
+
+def test_repo_src_passes_with_baseline():
+    """The merged tree is clean: the CI gate invariant."""
+    proc = run_cli("src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "staticcheck OK" in proc.stdout
+
+
+def test_repo_has_baselined_findings_not_hidden_ones():
+    """--no-baseline exposes exactly the grandfathered findings."""
+    proc = run_cli("src", "--no-baseline")
+    assert proc.returncode == 1
+    # the known intentional exceptions: profiler wall-clock + serializers
+    assert "RS101" in proc.stdout
+    assert "RS201" in proc.stdout
+
+
+def test_violating_fixture_fails_with_rule_ids(tmp_path):
+    bad = tmp_path / "src" / "repro" / "net"
+    bad.mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+    (bad / "__init__.py").write_text("")
+    (bad / "noise.py").write_text(VIOLATING)
+    out = tmp_path / "report.json"
+    proc = run_cli(str(tmp_path / "src"), "--no-baseline", "--json", str(out))
+    assert proc.returncode == 1
+    assert "RS102" in proc.stdout
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.staticcheck/1"
+    assert doc["summary"]["by_rule"] == {"RS102": 1}
+
+
+def test_json_report_written_for_clean_run(tmp_path):
+    out = tmp_path / "report.json"
+    proc = run_cli("src", "--json", str(out))
+    assert proc.returncode == 0
+    doc = json.loads(out.read_text())
+    assert doc["summary"]["ok"] is True
+    assert doc["summary"]["suppressed"] > 0
+    assert doc["files_scanned"] > 50
+    # suppressed findings all carry their justification from the baseline
+    assert all(f.get("justification") for f in doc["suppressed"])
+
+
+def test_select_filters_rules(tmp_path):
+    bad = tmp_path / "mixed.py"
+    bad.write_text(
+        "import time\n"
+        "def f(x=[]):\n"
+        "    return time.time()\n"
+    )
+    only_hygiene = run_cli(str(bad), "--no-baseline", "--select", "RS4")
+    assert only_hygiene.returncode == 1
+    assert "RS401" in only_hygiene.stdout
+    assert "RS101" not in only_hygiene.stdout
+
+
+def test_list_rules_covers_all_families():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule_id in ("RS101", "RS102", "RS103", "RS104", "RS105",
+                    "RS201", "RS202", "RS203",
+                    "RS301", "RS302", "RS303",
+                    "RS401", "RS402"):
+        assert rule_id in proc.stdout, rule_id
+
+
+def test_missing_path_is_usage_error():
+    proc = run_cli("definitely/not/here")
+    assert proc.returncode == 2
+
+
+def test_doctor_staticcheck_section():
+    from repro.analysis.doctor import staticcheck_report
+
+    cwd = os.getcwd()
+    os.chdir(REPO_ROOT)
+    try:
+        text = staticcheck_report()
+    finally:
+        os.chdir(cwd)
+    assert text.startswith("staticcheck:")
+    assert "OK" in text

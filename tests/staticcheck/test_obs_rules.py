@@ -1,0 +1,143 @@
+"""RS3xx fixtures: observability discipline."""
+
+from repro.staticcheck import check_source
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+def check(source, module="repro.net.fixture", path="src/repro/net/fixture.py"):
+    return check_source(source, module=module, path=path)
+
+
+# -- RS301: literal metric names ------------------------------------------------------
+
+
+def test_rs301_computed_metric_name_flagged():
+    findings = check(
+        "def setup(self, name):\n"
+        "    self.hits = self.metrics.counter('packets_' + name)\n"
+    )
+    assert "RS301" in rules_of(findings)
+
+
+def test_rs301_fstring_metric_name_flagged():
+    findings = check(
+        "def setup(self, sw):\n"
+        "    self.hits = self.sim.metrics.counter(f'packets_{sw}')\n"
+    )
+    assert "RS301" in rules_of(findings)
+
+
+def test_rs301_clean_literal_name_with_label():
+    findings = check(
+        "def setup(self, sw):\n"
+        "    self.hits = self.sim.metrics.counter('packets_forwarded', switch=sw)\n"
+    )
+    assert findings == []
+
+
+def test_rs301_collector_name_must_be_literal():
+    findings = check(
+        "def setup(self, registry, name):\n"
+        "    registry.collect(name, lambda: 0)\n"
+    )
+    assert "RS301" in rules_of(findings)
+
+
+def test_rs301_unrelated_receivers_ignored():
+    # .collect()/.counter() on things that are not a registry
+    findings = check(
+        "def f(gc, name):\n"
+        "    gc.collect(name)\n"
+    )
+    assert findings == []
+
+
+# -- RS302: bounded label cardinality -------------------------------------------------
+
+
+def test_rs302_fstring_label_value_flagged():
+    findings = check(
+        "def setup(self, sw, port):\n"
+        "    self.metrics.counter('drops', port=f'{sw}-{port}')\n"
+    )
+    assert rules_of(findings) == ["RS302"]
+
+
+def test_rs302_too_many_labels_flagged():
+    findings = check(
+        "def setup(self, m):\n"
+        "    self.metrics.counter('x', a=1, b=2, c=3, d=4, e=5)\n"
+    )
+    assert rules_of(findings) == ["RS302"]
+
+
+def test_rs302_clean_raw_values_and_buckets_kwarg():
+    findings = check(
+        "def setup(self, sw, port):\n"
+        "    self.metrics.histogram('wait_ns', buckets=(1, 10), switch=sw, port=port)\n"
+    )
+    assert findings == []
+
+
+# -- RS303: flight-recorder disabled pattern ------------------------------------------
+
+
+def test_rs303_chained_recorder_call_flagged():
+    findings = check(
+        "def on_packet(self, pkt):\n"
+        "    self.sim.recorder.record(0, 'sw', 'msg', 'recv')\n"
+    )
+    assert rules_of(findings) == ["RS303"]
+
+
+def test_rs303_unguarded_local_flagged():
+    findings = check(
+        "def on_packet(self, pkt):\n"
+        "    rec = self.sim.recorder\n"
+        "    rec.record(0, 'sw', 'msg', 'recv')\n"
+    )
+    assert rules_of(findings) == ["RS303"]
+
+
+def test_rs303_clean_guarded_local():
+    findings = check(
+        "def on_packet(self, pkt):\n"
+        "    rec = self.sim.recorder\n"
+        "    if rec is not None:\n"
+        "        rec.record(0, 'sw', 'msg', 'recv')\n"
+    )
+    assert findings == []
+
+
+def test_rs303_clean_guard_with_and_chain_inside_loop():
+    findings = check(
+        "def flush(self, pkts):\n"
+        "    for pkt in pkts:\n"
+        "        rec = self.sim.recorder\n"
+        "        if rec is not None and self.name is not None:\n"
+        "            rec.record(0, self.name, 'msg', 'send')\n"
+    )
+    assert findings == []
+
+
+def test_rs303_clean_early_return_guard():
+    findings = check(
+        "def mark(self):\n"
+        "    rec = self.sim.recorder\n"
+        "    if rec is None:\n"
+        "        return\n"
+        "    rec.record(0, 'sw', 'epoch', 'mark')\n"
+    )
+    assert findings == []
+
+
+def test_rs303_implementation_module_exempt():
+    findings = check_source(
+        "def replay(self):\n"
+        "    self.recorder.record(0, 'x', 'y', 'z')\n",
+        module="repro.obs.flight", path="src/repro/obs/flight.py",
+    )
+    assert findings == []
