@@ -26,6 +26,8 @@ if __package__ in (None, ""):  # direct invocation: put repo root + src on the p
 
 from repro.analysis.metrics import format_table
 from repro.obs.export import bench_document, bench_result, write_document
+from repro.obs.regress import archive_document, metrics_of
+from repro.sim.rng import RngRegistry
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -33,6 +35,10 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 _document: Optional[Dict] = None
 #: seed requested via --seed / REPRO_BENCH_SEED (None = bench default)
 _seed_override: Optional[int] = None
+#: True while run_cli replays the suite under --repeat: results still
+#: accumulate into _document for statistics, but the .txt/.json files in
+#: results/ are left as the base-seed run wrote them
+_aggregate_only = False
 
 
 def current_seed(default: int = 0) -> int:
@@ -59,9 +65,6 @@ def report(
     text = f"== {title} ==\n{table}\n"
     if notes:
         text += notes.rstrip() + "\n"
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
-        fh.write(text)
 
     result = bench_result(
         name, title,
@@ -72,6 +75,12 @@ def report(
     )
     if _document is not None:
         _document["results"].append(result)
+    if _aggregate_only:
+        return text
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text)
     doc = bench_document(name, title=title, seed=current_seed(), results=[result])
     write_document(os.path.join(RESULTS_DIR, f"BENCH_{name}.json"), doc)
 
@@ -110,8 +119,20 @@ def run_cli(namespace: Dict, bench_id: Optional[str] = None) -> None:
     Runs every ``test_*`` function in ``namespace`` with a stub
     ``benchmark`` fixture, accumulates their :func:`report` tables, and
     optionally writes the combined schema-valid JSON document.
+
+    ``--repeat N`` replays the suite N-1 extra times under independent
+    seeds forked from the base seed (``RngRegistry.child_seed``, so the
+    streams never collide with the base run's) and embeds per-metric
+    mean/stdev into each result's ``telemetry["repeat"]`` -- the spread
+    the regress comparator turns into sigma-based tolerance bands.  The
+    written tables and the document's own rows always come from the base
+    seed; with ``--repeat 1`` (the default) output is byte-identical to
+    a run without the flag.
+
+    ``--archive DIR`` appends the combined document to
+    ``DIR/<bench>.history.jsonl`` keyed by git SHA/seed/topology.
     """
-    global _document, _seed_override
+    global _document, _seed_override, _aggregate_only
 
     if bench_id is None:
         bench_id = (
@@ -128,11 +149,15 @@ def run_cli(namespace: Dict, bench_id: Optional[str] = None) -> None:
                         help="RNG seed threaded into the benches")
     parser.add_argument("--only", default=None, metavar="SUBSTR",
                         help="run only tests whose name contains SUBSTR")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="run the suite N times under forked seeds and "
+                             "embed per-metric mean/stdev statistics")
+    parser.add_argument("--archive", default=None, metavar="DIR",
+                        help="append the combined document to the per-bench "
+                             "history in DIR")
     args = parser.parse_args()
-
-    if args.seed is not None:
-        _seed_override = args.seed
-    _document = bench_document(bench_id, title=title, seed=current_seed())
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
 
     tests = [
         (name, fn)
@@ -145,17 +170,66 @@ def run_cli(namespace: Dict, bench_id: Optional[str] = None) -> None:
         print("no tests selected", file=sys.stderr)
         sys.exit(2)
 
+    if args.seed is not None:
+        _seed_override = args.seed
+    base_seed = current_seed()
+    rng = RngRegistry(base_seed)
+    seeds = [base_seed] + [
+        rng.child_seed(f"repeat/{rep}") for rep in range(1, args.repeat)
+    ]
+
     failures = []
-    for name, fn in tests:
-        print(f"-- {name}")
-        try:
-            fn(_StubBenchmark())
-        except AssertionError as error:
-            failures.append(name)
-            print(f"FAILED {name}: {error}", file=sys.stderr)
+    rep_docs = []
+    for rep, seed in enumerate(seeds):
+        if rep > 0:
+            _seed_override = seed
+            _aggregate_only = True
+        _document = bench_document(bench_id, title=title, seed=seed)
+        rep_docs.append(_document)
+        for name, fn in tests:
+            print(f"-- {name}" + (f" [repeat {rep}]" if rep else ""))
+            try:
+                fn(_StubBenchmark())
+            except AssertionError as error:
+                failures.append(name)
+                print(f"FAILED {name}: {error}", file=sys.stderr)
+    _aggregate_only = False
+
+    base_doc = rep_docs[0]
+    if args.repeat > 1:
+        _embed_repeat_stats(base_doc, rep_docs, seeds)
 
     if args.json_path:
-        write_document(args.json_path, _document)
+        write_document(args.json_path, base_doc)
         print(f"wrote {args.json_path}")
+    if args.archive:
+        path = archive_document(args.archive, base_doc)
+        print(f"archived to {path}")
     _document = None
     sys.exit(1 if failures else 0)
+
+
+def _embed_repeat_stats(base_doc: Dict, rep_docs, seeds) -> None:
+    """Attach cross-repeat mean/stdev per metric to each base result."""
+    flats = [metrics_of(d) for d in rep_docs]
+    for result in base_doc["results"]:
+        prefix = result["name"] + "/"
+        stats: Dict[str, Dict[str, float]] = {}
+        for key in sorted(flats[0]):
+            if not key.startswith(prefix):
+                continue
+            values = [flat[key] for flat in flats if key in flat]
+            mean = sum(values) / len(values)
+            if len(values) > 1:
+                stdev = (sum((v - mean) ** 2 for v in values)
+                         / (len(values) - 1)) ** 0.5
+            else:
+                stdev = 0.0
+            stats[key[len(prefix):]] = {"mean": mean, "stdev": stdev}
+        telemetry = result.get("telemetry") or {}
+        telemetry["repeat"] = {
+            "runs": len(rep_docs),
+            "seeds": list(seeds),
+            "metrics": stats,
+        }
+        result["telemetry"] = telemetry

@@ -221,6 +221,9 @@ def telemetry_dashboard(network) -> str:
     ):
         lines.append("")
         lines.append(flight_report(network))
+    if getattr(network, "sampler", None) is not None:
+        lines.append("")
+        lines.append(timeseries_report(network))
     return "\n".join(lines)
 
 
@@ -269,6 +272,32 @@ def flight_report(network, hotspot_limit: int = 8) -> str:
             )
             for line in render_chain(chain).splitlines():
                 lines.append(f"    {line}")
+    return "\n".join(lines)
+
+
+def timeseries_report(network, width: int = 32) -> str:
+    """The ``timeseries`` section of the doctor's output: what the
+    longitudinal sampler saw -- the watch dashboard's frame (per-switch
+    port-state/FIFO sparklines, epoch, blackout flags) plus ring health
+    (samples, series, drops).  Off unless the network was built with
+    ``Network(timeseries=...)``."""
+    from repro.obs.watch import render_frame
+
+    sampler = getattr(network, "sampler", None)
+    lines = ["timeseries:"]
+    if sampler is None:
+        lines.append("  off (build Network(timeseries=True) to sample)")
+        return "\n".join(lines)
+    doc = sampler.document()
+    lines.append(
+        f"  {doc['samples_taken']} samples every "
+        f"{doc['interval_ns'] / 1e6:g} ms, {len(doc['series'])} series, "
+        f"{doc['dropped_ticks']} ticks evicted, "
+        f"{doc['dropped_series']} series refused"
+    )
+    lines.append("")
+    frame = render_frame(sampler.view(), now_ns=network.sim.now, width=width)
+    lines.extend(f"  {line}".rstrip() for line in frame.splitlines())
     return "\n".join(lines)
 
 

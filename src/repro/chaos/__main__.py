@@ -130,11 +130,18 @@ def _shrink_failures(runner: CampaignRunner, args) -> None:
             result.schedule,
             lambda s: not runner.run_schedule(s).passed,
         )
-        # the confirmation replay doubles as the flight recording: the
-        # trace lands next to the reproducer so the causal timeline of
-        # the minimal failure ships with it
+        # the confirmation replay doubles as the recording pass: the
+        # causal flight trace and the longitudinal timeseries land next
+        # to the reproducer, so both the event timeline and the
+        # port-state/FIFO/epoch trajectory of the minimal failure ship
+        # with it (replayable via `python -m repro.obs watch --replay`)
         trace_path = os.path.join(args.artifact_dir, f"{result.name}.trace.json")
-        replayed = runner.run_schedule(minimal, trace_path=trace_path)
+        timeseries_path = os.path.join(
+            args.artifact_dir, f"{result.name}.timeseries.json"
+        )
+        replayed = runner.run_schedule(
+            minimal, trace_path=trace_path, timeseries_path=timeseries_path
+        )
         path = os.path.join(args.artifact_dir, f"{result.name}.json")
         artifact = reproducer_dict(
             minimal,
@@ -145,7 +152,7 @@ def _shrink_failures(runner: CampaignRunner, args) -> None:
         write_artifact(path, artifact)
         print(
             f"  -> {len(minimal.events)} events after {runs} runs: {path} "
-            f"(trace: {trace_path})",
+            f"(trace: {trace_path}, timeseries: {timeseries_path})",
             flush=True,
         )
     skipped = len(runner.failures) - MAX_SHRINKS

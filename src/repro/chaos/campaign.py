@@ -116,8 +116,16 @@ class CampaignRunner:
             plan.append((f"h{h}", [(sw, free[h % len(free)])]))
         return plan
 
-    def build_network(self, schedule: Schedule, flight: bool = False) -> Network:
-        network = Network(self.spec, seed=schedule.seed, telemetry=True, flight=flight)
+    def build_network(
+        self, schedule: Schedule, flight: bool = False, timeseries: bool = False
+    ) -> Network:
+        network = Network(
+            self.spec,
+            seed=schedule.seed,
+            telemetry=True,
+            flight=flight,
+            timeseries=timeseries,
+        )
         for name, attachments in self._host_plan():
             network.add_host(name, attachments)
         return network
@@ -129,17 +137,25 @@ class CampaignRunner:
         schedule: Schedule,
         name: str = "",
         trace_path: Optional[str] = None,
+        timeseries_path: Optional[str] = None,
     ) -> ScheduleResult:
         """Run one schedule; ``trace_path`` turns on the flight recorder
-        for this run and writes the Perfetto trace there afterwards (the
-        recorder is observational, so the run itself is unchanged)."""
+        for this run and writes the Perfetto trace there afterwards, and
+        ``timeseries_path`` does the same for the longitudinal sampler
+        (both are observational, so the run itself is unchanged)."""
         result = ScheduleResult(name=name or schedule.name, schedule=schedule)
-        network = self.build_network(schedule, flight=trace_path is not None)
+        network = self.build_network(
+            schedule,
+            flight=trace_path is not None,
+            timeseries=timeseries_path is not None,
+        )
         try:
             return self._run_schedule(network, schedule, result)
         finally:
             if trace_path is not None:
                 network.export_flight_trace(trace_path)
+            if timeseries_path is not None:
+                network.export_timeseries(timeseries_path)
 
     def _run_schedule(
         self, network: Network, schedule: Schedule, result: ScheduleResult

@@ -150,6 +150,14 @@ class ReconfigEngine:
         self.local_reconfigs = 0
         self.local_applied_at: int = -1
 
+    @property
+    def in_blackout(self) -> bool:
+        """The switch cannot carry host traffic right now: its table
+        holds only one-hop entries (step 1 ran) and step 5 has not yet
+        reloaded it.  Sampled each tick by the time-series layer as the
+        per-switch ``blackout_in_progress`` flag."""
+        return not (self.configured and self.table_loaded)
+
     # -- epoch management -------------------------------------------------------------
 
     def initiate(self, reason: str) -> None:

@@ -157,6 +157,28 @@ class ReceiveFifo:
         self._advance()
         return self._level()
 
+    def peek_level(self) -> float:
+        """Occupancy now, projected from the linear state *without*
+        advancing it.  The time-series sampler reads this: advancing in
+        :meth:`_advance` splits the float accumulation into different
+        partial sums, so a sampled run would diverge (in the last ulp)
+        from an unsampled one.  Projection keeps sampling observational.
+        """
+        level = self._level()
+        dt = self.sim.now - self._last_update
+        if dt <= 0:
+            return level
+        slots = dt / BYTE_TIME_NS
+        entry = self._arriving_entry()
+        if entry is not None and self.in_rate > 0:
+            level += min(float(entry.size) - entry.bytes_in, self.in_rate * slots)
+        head = self.head
+        if head is not None and self.drain_rate > 0:
+            inflow = self.in_rate * slots if head is entry else 0.0
+            level -= min(self.drain_rate * slots,
+                         head.bytes_in - head.bytes_out + inflow)
+        return max(0.0, level)
+
     def _level(self) -> float:
         return sum(entry.bytes_in - entry.bytes_out for entry in self.queue)
 

@@ -343,5 +343,14 @@ class Switch:
     def attached_link_ports(self) -> List[int]:
         return [p for p, unit in self.ports.items() if unit.connected]
 
+    def fifo_peek_levels(self) -> Dict[int, float]:
+        """Receive-FIFO occupancy per connected port, read without
+        advancing the fluid model (the time-series sampler's feed)."""
+        return {
+            p: unit.fifo.peek_level()
+            for p, unit in sorted(self.ports.items())
+            if unit.connected
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Switch {self.name} uid={self.uid}>"

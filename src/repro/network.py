@@ -25,6 +25,7 @@ from repro.net.switch import Switch
 from repro.obs.flight import FlightRecorder
 from repro.obs.profiler import EventLoopProfiler
 from repro.obs.spans import ReconfigTracer
+from repro.obs.timeseries import TimeSeriesConfig, TimeSeriesSampler
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import MergedLog
@@ -64,6 +65,7 @@ class Network:
         flight: bool = False,
         flight_capacity: int = 65536,
         profile: bool = False,
+        timeseries: "bool | int | TimeSeriesConfig | None" = False,
     ) -> None:
         self.spec = spec
         #: pass a shared simulator to co-simulate several Autonets (for
@@ -135,6 +137,19 @@ class Network:
             self.links[(a, pa)] = link
             self.links[(b, pb)] = link
 
+        #: opt-in longitudinal sampler (repro.obs.timeseries).  Pass
+        #: timeseries=True (defaults), an int (interval in ns), or a
+        #: TimeSeriesConfig.  Off (the default) leaves sim.sampler None:
+        #: no sample events exist and runs are byte-identical.  Wired
+        #: after the cables so connected-port collectors see them.
+        self.timeseries_config = TimeSeriesConfig.coerce(timeseries)
+        self.sampler: Optional[TimeSeriesSampler] = None
+        if self.timeseries_config is not None:
+            self.sampler = TimeSeriesSampler(self.sim, self.timeseries_config)
+            self.sim.sampler = self.sampler
+            self._install_timeseries()
+            self.sampler.start()
+
     # -- measurement hooks ----------------------------------------------------------------
 
     def _make_configured_hook(self, uid: Uid) -> Callable[[int, TopologyMap], None]:
@@ -166,6 +181,106 @@ class Network:
         switch.engine.wait_hist = self.sim.metrics.histogram(
             "scheduler_wait_ns", switch=switch.name
         )
+
+    # -- time series (repro.obs.timeseries) -----------------------------------------------------
+
+    def _install_timeseries(self) -> None:
+        """Register the sampler's pull-only collectors.
+
+        Every collector late-binds through ``self.autopilots[i]`` /
+        ``self.switches[i]``, so a restarted switch's fresh Autopilot is
+        picked up automatically -- no re-registration on restart.
+        """
+        from repro.core.portstate import PortState
+
+        sampler = self.sampler
+        assert sampler is not None
+
+        def autopilot_value(index: int, fn) -> Callable[[], Optional[float]]:
+            def collect() -> Optional[float]:
+                ap = self.autopilots[index]
+                return fn(ap) if ap.alive else None
+
+            return collect
+
+        def ports_in_state(index: int, state: PortState) -> Callable[[], Optional[float]]:
+            def collect() -> Optional[float]:
+                ap = self.autopilots[index]
+                if not ap.alive:
+                    return None
+                switch = self.switches[index]
+                return float(sum(
+                    1
+                    for p, monitor in ap.monitoring.ports.items()
+                    if switch.ports[p].connected and monitor.state is state
+                ))
+
+            return collect
+
+        for i, switch in enumerate(self.switches):
+            name = switch.name
+            sampler.add_collector(
+                "epoch",
+                autopilot_value(i, lambda ap: float(ap.engine.epoch)),
+                switch=name,
+            )
+            sampler.add_collector(
+                "blackout_in_progress",
+                autopilot_value(i, lambda ap: 1.0 if ap.engine.in_blackout else 0.0),
+                switch=name,
+            )
+            sampler.add_collector(
+                "packets_forwarded",
+                lambda i=i: float(self.switches[i].packets_forwarded),
+                kind="counter",
+                switch=name,
+            )
+            for state in PortState:
+                sampler.add_collector(
+                    "ports_in_state",
+                    ports_in_state(i, state),
+                    switch=name,
+                    state=state.value,
+                )
+            for p, unit in sorted(switch.ports.items()):
+                if not unit.connected:
+                    continue
+                sampler.add_collector(
+                    "fifo_occupancy_bytes",
+                    lambda i=i, p=p: self.switches[i].ports[p].fifo.peek_level(),
+                    switch=name,
+                    port=p,
+                )
+                sampler.add_collector(
+                    "fifo_highwater_bytes",
+                    lambda i=i, p=p: self.switches[i].ports[p].fifo.max_level,
+                    kind="highwater",
+                    switch=name,
+                    port=p,
+                )
+        if self.tracer is not None:
+            self.tracer.add_listener(
+                lambda t_ns, component, event, _attrs: sampler.mark(
+                    t_ns, component, event
+                )
+            )
+
+    def timeseries_doc(self) -> Dict:
+        """The ``repro.obs.timeseries/1`` artifact of everything the
+        sampler recorded so far."""
+        if self.sampler is None:
+            raise RuntimeError(
+                "time-series sampler is off; build Network(timeseries=...)"
+            )
+        return self.sampler.document(name=self.name or self.spec.name)
+
+    def export_timeseries(self, path: str) -> Dict:
+        """Validate and write the timeseries artifact; returns the doc."""
+        from repro.obs.timeseries import write_timeseries
+
+        doc = self.timeseries_doc()
+        write_timeseries(path, doc)
+        return doc
 
     def telemetry(self) -> Dict:
         """One structured snapshot of everything the installation knows
@@ -297,6 +412,22 @@ class Network:
                 name=f"{name}.{port_index}--sw{sw}.p{port}",
             )
             self._host_links[(name, port_index)] = link
+            if self.sampler is not None:
+                # the switch-side port just became connected; sample its
+                # FIFO like every port cabled at build time
+                self.sampler.add_collector(
+                    "fifo_occupancy_bytes",
+                    lambda i=sw, p=port: self.switches[i].ports[p].fifo.peek_level(),
+                    switch=self.switches[sw].name,
+                    port=port,
+                )
+                self.sampler.add_collector(
+                    "fifo_highwater_bytes",
+                    lambda i=sw, p=port: self.switches[i].ports[p].fifo.max_level,
+                    kind="highwater",
+                    switch=self.switches[sw].name,
+                    port=port,
+                )
         self._host_attachments[name] = [sw for sw, _port in attachments]
         self.hosts[name] = controller
         if with_driver:

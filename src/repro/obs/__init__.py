@@ -21,8 +21,18 @@ bench-trajectory needs of ROADMAP.md:
   of a flight recording (``repro.obs.flight/1``), plus its validator.
 * :mod:`repro.obs.profiler` -- the event-loop profiler: wall-clock and
   event counts per handler category, and the ``events_per_sec`` baseline.
+* :mod:`repro.obs.timeseries` -- the longitudinal sampler: periodic
+  in-sim sampling of every gauge/counter/high-water plus FIFO occupancy,
+  port states, epochs, and blackout flags into bounded rings, exported
+  as ``repro.obs.timeseries/1`` with a window/delta/resample query API.
+* :mod:`repro.obs.watch` -- the live dashboard: sampler rings rendered
+  as per-switch terminal sparklines, live or replayed from an artifact.
+* :mod:`repro.obs.regress` -- the bench-regression trajectory: per-bench
+  history archives and the baseline comparator whose
+  ``repro.obs.regress/1`` verdict CI gates on.
 
-``python -m repro.obs`` exposes ``export``, ``why``, and ``profile``.
+``python -m repro.obs`` exposes ``export``, ``why``, ``profile``,
+``watch``, and ``regress``.
 """
 
 from repro.obs.export import (
@@ -54,7 +64,27 @@ from repro.obs.registry import (
     MetricsRegistry,
     NULL_COUNTER,
 )
+from repro.obs.regress import (
+    REGRESS_SCHEMA,
+    Tolerance,
+    archive_document,
+    baseline_window,
+    compare,
+    read_regress,
+    validate_regress,
+    write_regress,
+)
 from repro.obs.spans import ReconfigTracer, Span, SpanTracer
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA,
+    SeriesData,
+    TimeSeries,
+    TimeSeriesConfig,
+    TimeSeriesSampler,
+    read_timeseries,
+    validate_timeseries,
+    write_timeseries,
+)
 
 __all__ = [
     "SCHEMA",
@@ -81,4 +111,20 @@ __all__ = [
     "validate_trace",
     "write_trace",
     "EventLoopProfiler",
+    "TIMESERIES_SCHEMA",
+    "SeriesData",
+    "TimeSeries",
+    "TimeSeriesConfig",
+    "TimeSeriesSampler",
+    "read_timeseries",
+    "validate_timeseries",
+    "write_timeseries",
+    "REGRESS_SCHEMA",
+    "Tolerance",
+    "archive_document",
+    "baseline_window",
+    "compare",
+    "read_regress",
+    "validate_regress",
+    "write_regress",
 ]

@@ -11,25 +11,47 @@
     # the CI throughput baseline: hotspots + events_per_sec as repro.bench/1
     python -m repro.obs profile --topo torus-3x4 --cut 0-1 --json profile.json
 
-Each subcommand runs the same scenario: build the topology, converge,
-apply the requested link cuts, reconverge.  ``export`` writes a
-``repro.obs.flight/1`` document loadable at https://ui.perfetto.dev;
+    # live dashboard: sparklines per switch while the sim reconfigures
+    python -m repro.obs watch --topo torus-3x4 --cut 0-1 --duration 5
+
+    # replay a recorded timeseries artifact
+    python -m repro.obs watch --replay torus-3x4.timeseries.json
+
+    # gate: diff a fresh bench document against committed baselines
+    python -m repro.obs regress --current bench.json \
+        --baseline benchmarks/results/baselines
+
+Each scenario subcommand runs the same scenario: build the topology,
+converge, apply the requested link cuts, reconverge.  ``export`` writes
+a ``repro.obs.flight/1`` document loadable at https://ui.perfetto.dev;
 ``why`` answers section 6.7's question ("why did this epoch happen?")
 from the recorded parent chain; ``profile`` measures the simulator
-itself.
+itself; ``watch`` renders the time-series sampler live (or replays an
+artifact); ``regress`` compares ``repro.bench/1`` documents against a
+baseline window and exits non-zero on out-of-band metrics.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Tuple
 
-from repro.constants import SEC
+from repro.constants import MS, SEC
 from repro.network import Network
 from repro.obs.export import bench_document, bench_result, write_document
 from repro.obs.flight import CAT_EPOCH, CAT_PORT, render_chain
 from repro.obs.perfetto import write_trace
+from repro.obs.regress import (
+    Tolerance,
+    baseline_window,
+    compare,
+    render_verdict,
+    write_regress,
+)
+from repro.obs.timeseries import TimeSeries, TimeSeriesConfig
+from repro.obs.watch import watch_live, watch_replay
 from repro.topology.generators import resolve_topology
 
 
@@ -176,6 +198,48 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_watch(args) -> int:
+    if args.replay:
+        ts = TimeSeries.load(args.replay)
+        watch_replay(ts, fps=args.fps, width=args.width, step=args.step)
+        return 0
+    spec = resolve_topology(args.topo)
+    net = Network(
+        spec,
+        seed=args.seed,
+        timeseries=TimeSeriesConfig(interval_ns=int(args.interval * MS)),
+    )
+    # cuts land mid-run as scheduled sim events, so the dashboard shows
+    # the blackout and the subsequent epoch happen
+    for a, b in args.cut:
+        net.sim.at(int(args.cut_at * MS), net.cut_link, a, b)
+    watch_live(
+        net, duration_ns=int(args.duration * SEC), fps=args.fps, width=args.width
+    )
+    if args.out:
+        net.export_timeseries(args.out)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+def _cmd_regress(args) -> int:
+    with open(args.current) as fh:
+        current = json.load(fh)
+    window = baseline_window(args.baseline, current.get("bench", ""))
+    if args.tolerances:
+        tolerance = Tolerance.load_overrides(
+            args.tolerances, rel=args.rel, sigma=args.sigma
+        )
+    else:
+        tolerance = Tolerance(rel=args.rel, sigma=args.sigma)
+    verdict = compare(current, window, tolerance=tolerance, strict=args.strict)
+    print(render_verdict(verdict))
+    if args.out:
+        write_regress(args.out, verdict)
+        print(f"wrote {args.out}")
+    return 0 if verdict["verdict"] == "ok" else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -224,6 +288,75 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--trace", default=None, metavar="PATH", help="also record and write a flight trace"
     )
     p_profile.set_defaults(fn=_cmd_profile)
+
+    p_watch = sub.add_parser(
+        "watch", help="live sparkline dashboard (or artifact replay)"
+    )
+    add_scenario_args(p_watch)
+    p_watch.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="replay a recorded repro.obs.timeseries/1 artifact instead "
+             "of running a scenario",
+    )
+    p_watch.add_argument(
+        "--duration", type=float, default=5.0, metavar="SEC",
+        help="simulated seconds to run (default 5)",
+    )
+    p_watch.add_argument(
+        "--cut-at", type=float, default=1000.0, metavar="MS",
+        help="simulated time at which --cut links fail (default 1000 ms)",
+    )
+    p_watch.add_argument(
+        "--interval", type=float, default=50.0, metavar="MS",
+        help="sampling interval (default 50 ms)",
+    )
+    p_watch.add_argument(
+        "--fps", type=float, default=10.0, help="frames per second (default 10)"
+    )
+    p_watch.add_argument(
+        "--width", type=int, default=32, help="sparkline width (default 32)"
+    )
+    p_watch.add_argument(
+        "--step", type=int, default=1, help="replay: ticks per frame (default 1)"
+    )
+    p_watch.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the recorded timeseries artifact",
+    )
+    p_watch.set_defaults(fn=_cmd_watch)
+
+    p_regress = sub.add_parser(
+        "regress", help="gate a bench document against committed baselines"
+    )
+    p_regress.add_argument(
+        "--current", required=True, metavar="PATH",
+        help="the fresh repro.bench/1 document to judge",
+    )
+    p_regress.add_argument(
+        "--baseline", required=True, metavar="PATH",
+        help="baseline document, history .jsonl, or directory of either",
+    )
+    p_regress.add_argument(
+        "--tolerances", default=None, metavar="PATH",
+        help="JSON {fnmatch pattern: relative tolerance} overrides",
+    )
+    p_regress.add_argument(
+        "--rel", type=float, default=0.25,
+        help="default relative tolerance (default 0.25)",
+    )
+    p_regress.add_argument(
+        "--sigma", type=float, default=4.0,
+        help="stdev multiplier when repeat statistics exist (default 4)",
+    )
+    p_regress.add_argument(
+        "--strict", action="store_true",
+        help="also fail when a baseline metric is missing from the current run",
+    )
+    p_regress.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the repro.obs.regress/1 verdict here",
+    )
+    p_regress.set_defaults(fn=_cmd_regress)
 
     args = parser.parse_args(argv)
     return args.fn(args)

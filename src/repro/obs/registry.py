@@ -132,6 +132,40 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the q-quantile (0 < q <= 1) from the cumulative
+        bucket counts, linearly interpolating inside the bucket that
+        crosses rank ``q * count``.  The estimate is clamped to the
+        observed [min, max], so with all observations in one bucket the
+        answer stays within the data rather than the bucket bounds --
+        what the regress tolerance bands need from tail latencies.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1]: {q}")
+        if self.count == 0 or self.min is None or self.max is None:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        lower = self.min
+        for i, bound in enumerate(self.bounds):
+            in_bucket = self.bucket_counts[i]
+            if in_bucket and cumulative + in_bucket >= rank:
+                fraction = (rank - cumulative) / in_bucket
+                lo = max(lower, self.min)
+                hi = min(bound, self.max)
+                value = lo + max(0.0, hi - lo) * fraction
+                return min(max(value, self.min), self.max)
+            cumulative += in_bucket
+            lower = bound
+        # rank falls in the overflow bucket: interpolate toward max
+        in_bucket = self.bucket_counts[-1]
+        if in_bucket:
+            fraction = (rank - cumulative) / in_bucket
+            lo = max(self.min, self.bounds[-1]) if self.bounds else self.min
+            value = lo + max(0.0, self.max - lo) * fraction
+            return min(max(value, self.min), self.max)
+        return self.max
+
     def snapshot_value(self) -> Any:
         return {
             "count": self.count,
@@ -139,6 +173,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
             "buckets": {
                 **{str(b): c for b, c in zip(self.bounds, self.bucket_counts)},
                 "+Inf": self.bucket_counts[-1],

@@ -1,0 +1,550 @@
+"""Longitudinal telemetry: the in-simulation time-series sampler (§6.7).
+
+PR 1's metrics registry answers "what are the totals *now*"; this module
+answers "what did they do *over time*" -- the view Autonet's operators
+actually watched.  A :class:`TimeSeriesSampler` attached to a simulator
+schedules one periodic *sample event*; each tick it
+
+* walks the metrics registry and appends every counter / gauge /
+  high-water series' current value,
+* calls every registered *collector* (FIFO occupancy, ports per state,
+  epoch number, blackout in-progress flags -- wired by
+  :class:`repro.network.Network` when built with ``timeseries=...``),
+* and keeps everything in **bounded per-series ring buffers**: overflow
+  evicts the oldest sample and counts the loss, exactly like the flight
+  recorder's component rings.
+
+Discipline (mirrors the flight recorder):
+
+* **Null fast path.**  ``Simulator.sampler`` is ``None`` by default and
+  nothing in the simulation ever touches the sampler from a hot path --
+  sampling is *pull-only*, driven by the sampler's own event.  With the
+  sampler off, runs are byte-identical to a build without this module.
+* **Observational purity.**  Collectors only read component state; the
+  FIFO occupancy collector uses :meth:`~repro.net.fifo.ReceiveFifo.
+  peek_level`, which projects the fluid model to "now" without advancing
+  it, so sampling never perturbs the float trajectory of the run.
+* **Bounded everything.**  Series count, ring capacity, and the span-mark
+  ring are all capped; ``RS304`` (repro.staticcheck) keeps call sites
+  honest about literal names and bounded capacities.
+
+The recorded history exports as a ``repro.obs.timeseries/1`` JSON
+artifact (structural validator included) and is queryable -- live or from
+a loaded artifact -- through :class:`TimeSeries` / :class:`SeriesData`
+(``window`` / ``delta`` / ``resample``), which the doctor and the
+regression comparator build on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: bump the suffix when the artifact layout changes incompatibly
+TIMESERIES_SCHEMA = "repro.obs.timeseries/1"
+
+MS = 1_000_000
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+@dataclass
+class TimeSeriesConfig:
+    """Everything that determines a sampler, and nothing else."""
+
+    #: simulated time between samples
+    interval_ns: int = 50 * MS
+    #: samples retained per series (ring capacity)
+    capacity: int = 1024
+    #: also sample every counter/gauge/highwater in the metrics registry
+    include_registry: bool = True
+    #: series refused beyond this count (cardinality backstop)
+    max_series: int = 4096
+    #: span events retained in the mark ring (the watch dashboard's
+    #: "recent reconfiguration events" column)
+    mark_capacity: int = 256
+
+    @classmethod
+    def coerce(cls, value: "bool | int | TimeSeriesConfig | None"
+               ) -> "Optional[TimeSeriesConfig]":
+        """Normalize ``Network(timeseries=...)``: False/None -> off,
+        True -> defaults, int -> sampling interval in ns."""
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, int):
+            return cls(interval_ns=value)
+        return value
+
+
+class SeriesRing:
+    """Bounded ring of samples for one series, aligned to sampler ticks.
+
+    The sampler appends to every live ring each tick, so a ring created
+    at tick ``k`` holds values for ticks ``k, k+1, ...`` (newest
+    ``capacity`` of them); alignment against the shared tick ring is
+    positional from the end.
+    """
+
+    __slots__ = ("name", "labels", "kind", "capacity", "_buf", "_next",
+                 "total", "created_tick")
+
+    def __init__(self, name: str, labels: Dict[str, Any], kind: str,
+                 capacity: int, created_tick: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ring capacity must be positive: {capacity}")
+        self.name = name
+        self.labels = labels
+        self.kind = kind
+        self.capacity = capacity
+        self._buf: List[Optional[float]] = [None] * capacity
+        self._next = 0
+        #: total samples ever appended (>= len(self))
+        self.total = 0
+        #: global tick index at which this series first sampled
+        self.created_tick = created_tick
+
+    def append(self, value: Optional[float]) -> None:
+        self._buf[self._next] = value
+        self._next = (self._next + 1) % self.capacity
+        self.total += 1
+
+    @property
+    def dropped(self) -> int:
+        return max(0, self.total - self.capacity)
+
+    def values(self) -> List[Optional[float]]:
+        """Retained samples, oldest first."""
+        if self.total < self.capacity:
+            return list(self._buf[: self.total])
+        return self._buf[self._next:] + self._buf[: self._next]
+
+    def __len__(self) -> int:
+        return min(self.total, self.capacity)
+
+
+class TimeSeriesSampler:
+    """Periodic in-sim sampler feeding bounded per-series rings.
+
+    Attach with ``sim.sampler = sampler; sampler.start()`` (or build the
+    network with ``Network(timeseries=...)``, which does both).  The
+    sampler schedules its own tick events; nothing else in the
+    simulation ever calls into it, so a detached sampler costs zero.
+    """
+
+    def __init__(self, sim, config: Optional[TimeSeriesConfig] = None) -> None:
+        self.sim = sim
+        self.config = config or TimeSeriesConfig()
+        #: shared tick-time ring (one entry per sample event)
+        self._ticks = SeriesRing(
+            "ticks", {}, "ticks", self.config.capacity, created_tick=0
+        )
+        self._series: Dict[Tuple[str, LabelKey], SeriesRing] = {}
+        #: (name, labels, ring, fn) sampled every tick
+        self._collectors: List[Tuple[str, Dict[str, Any], SeriesRing,
+                                     Callable[[], Optional[float]]]] = []
+        #: bounded ring of span events (reconfiguration phase marks)
+        self._marks = SeriesRing(
+            "marks", {}, "marks", self.config.mark_capacity, created_tick=0
+        )
+        self._mark_rows: List[Tuple[int, str, str]] = []
+        #: series refused because max_series was reached
+        self.dropped_series = 0
+        #: total sample events taken
+        self.samples_taken = 0
+        self._running = False
+        self._handle = None
+
+    # -- registration -------------------------------------------------------------
+
+    def add_collector(self, name: str, fn: Callable[[], Optional[float]],
+                      kind: str = "gauge", **labels: Any) -> None:
+        """Register a pull-only series: ``fn`` is called once per tick
+        and returns a number, or None for "no sample this tick" (e.g. a
+        crashed switch).  Names must be literal and rings are bounded --
+        RS304 enforces both at call sites."""
+        ring = self._ring(name, labels, kind)
+        if ring is None:
+            return
+        self._collectors.append((name, labels, ring, fn))
+
+    def _ring(self, name: str, labels: Dict[str, Any],
+              kind: str) -> Optional[SeriesRing]:
+        key = (name, _label_key(labels))
+        ring = self._series.get(key)
+        if ring is None:
+            if len(self._series) >= self.config.max_series:
+                self.dropped_series += 1
+                return None
+            ring = SeriesRing(
+                name, dict(labels), kind, self.config.capacity,
+                created_tick=self.samples_taken,
+            )
+            self._series[key] = ring
+        return ring
+
+    def mark(self, t_ns: int, component: str, event: str) -> None:
+        """Record one span event into the bounded mark ring (fed by the
+        ReconfigTracer listener that Network installs)."""
+        if len(self._mark_rows) >= self.config.mark_capacity:
+            # evict oldest; the ring stays bounded like every other buffer
+            del self._mark_rows[0]
+        self._mark_rows.append((t_ns, component, event))
+        self._marks.total += 1
+
+    # -- the sample loop ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the first sample event."""
+        if self._running:
+            return
+        self._running = True
+        self._handle = self.sim.after(self.config.interval_ns, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._ticks.append(float(self.sim.now))
+        before = {key: ring.total for key, ring in self._series.items()}
+        for _name, _labels, ring, fn in self._collectors:
+            value = fn()
+            ring.append(None if value is None else float(value))
+        if self.config.include_registry:
+            self._sample_registry()
+        # any series that did not sample this tick (e.g. a registry
+        # series that vanished) pads with None to stay tick-aligned
+        for key, ring in self._series.items():
+            if ring.total == before.get(key, ring.total - 1):
+                ring.append(None)
+        self.samples_taken += 1
+        self._handle = self.sim.after(self.config.interval_ns, self._tick)
+
+    #: registry instrument kinds the sampler records (histograms export
+    #: their own quantile snapshot; sampling them is the caller's call)
+    REGISTRY_KINDS = frozenset({"counter", "gauge", "highwater"})
+
+    def _sample_registry(self) -> None:
+        metrics = getattr(self.sim, "metrics", None)
+        if metrics is None or not metrics.enabled:
+            return
+        for name in metrics._series:
+            for key, instrument in metrics._series[name].items():
+                if instrument.kind not in self.REGISTRY_KINDS:
+                    continue
+                ring = self._series.get((name, key))
+                if ring is None:
+                    ring = self._ring(name, dict(key), instrument.kind)
+                    if ring is None:
+                        continue
+                ring.append(float(instrument.value))
+
+    # -- queries -------------------------------------------------------------------
+
+    def ticks(self) -> List[int]:
+        return [int(t) for t in self._ticks.values() if t is not None]
+
+    def view(self) -> "TimeSeries":
+        """A query view over the live rings (snapshot, not a live link)."""
+        return TimeSeries.from_document(self.document())
+
+    def series_count(self) -> int:
+        return len(self._series)
+
+    # -- export --------------------------------------------------------------------
+
+    def document(self, name: str = "") -> Dict[str, Any]:
+        """The ``repro.obs.timeseries/1`` artifact as a dict."""
+        ticks = self.ticks()
+        series = []
+        for (sname, key), ring in sorted(
+            self._series.items(), key=lambda item: (item[0][0], repr(item[0][1]))
+        ):
+            values = ring.values()
+            # left-pad series younger than the retained tick window so
+            # every values array is positionally aligned with `ticks`
+            pad = len(ticks) - len(values)
+            if pad > 0:
+                values = [None] * pad + values
+            elif pad < 0:  # pragma: no cover - rings are tick-aligned
+                values = values[-len(ticks):]
+            series.append({
+                "name": sname,
+                "labels": {k: _jsonable(v) for k, v in key},
+                "kind": ring.kind,
+                "dropped": ring.dropped,
+                "values": values,
+            })
+        return {
+            "schema": TIMESERIES_SCHEMA,
+            "name": name,
+            "interval_ns": self.config.interval_ns,
+            "capacity": self.config.capacity,
+            "samples_taken": self.samples_taken,
+            "dropped_ticks": self._ticks.dropped,
+            "dropped_series": self.dropped_series,
+            "ticks": ticks,
+            "series": series,
+            "marks": [
+                {"t_ns": t, "component": component, "event": event}
+                for t, component, event in self._mark_rows
+            ],
+        }
+
+
+# -- the query API -------------------------------------------------------------------
+
+
+class SeriesData:
+    """One series' retained samples, with window/delta/resample queries."""
+
+    __slots__ = ("name", "labels", "kind", "ticks", "values")
+
+    def __init__(self, name: str, labels: Dict[str, Any], kind: str,
+                 ticks: List[int], values: List[Optional[float]]) -> None:
+        if len(ticks) != len(values):
+            raise ValueError(
+                f"series {name}: {len(values)} values for {len(ticks)} ticks"
+            )
+        self.name = name
+        self.labels = labels
+        self.kind = kind
+        self.ticks = ticks
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.ticks)
+
+    def points(self) -> List[Tuple[int, float]]:
+        """(t_ns, value) pairs, gaps (None samples) omitted."""
+        return [(t, v) for t, v in zip(self.ticks, self.values) if v is not None]
+
+    def window(self, t0_ns: int, t1_ns: int) -> "SeriesData":
+        """The sub-series with ``t0_ns <= t < t1_ns``."""
+        ticks, values = [], []
+        for t, v in zip(self.ticks, self.values):
+            if t0_ns <= t < t1_ns:
+                ticks.append(t)
+                values.append(v)
+        return SeriesData(self.name, self.labels, self.kind, ticks, values)
+
+    def delta(self) -> Optional[float]:
+        """Last minus first non-None sample (counter growth over the
+        window); None when fewer than two samples exist."""
+        points = self.points()
+        if len(points) < 2:
+            return None
+        return points[-1][1] - points[0][1]
+
+    def last(self) -> Optional[float]:
+        points = self.points()
+        return points[-1][1] if points else None
+
+    def max(self) -> Optional[float]:
+        points = self.points()
+        return max(v for _t, v in points) if points else None
+
+    def min(self) -> Optional[float]:
+        points = self.points()
+        return min(v for _t, v in points) if points else None
+
+    def resample(self, step_ns: int, how: str = "last") -> "SeriesData":
+        """Downsample onto a coarser grid: one sample per ``step_ns``
+        bucket (bucket start as the tick), aggregated by ``how``:
+        ``last`` (gauge semantics), ``mean``, ``max``, or ``min``."""
+        if step_ns <= 0:
+            raise ValueError(f"resample step must be positive: {step_ns}")
+        if how not in ("last", "mean", "max", "min"):
+            raise ValueError(f"unknown resample aggregate {how!r}")
+        buckets: Dict[int, List[float]] = {}
+        order: List[int] = []
+        for t, v in self.points():
+            start = (t // step_ns) * step_ns
+            if start not in buckets:
+                buckets[start] = []
+                order.append(start)
+            buckets[start].append(v)
+        ticks, values = [], []
+        for start in order:
+            vs = buckets[start]
+            if how == "last":
+                agg = vs[-1]
+            elif how == "mean":
+                agg = sum(vs) / len(vs)
+            elif how == "max":
+                agg = max(vs)
+            else:
+                agg = min(vs)
+            ticks.append(start)
+            values.append(agg)
+        return SeriesData(self.name, self.labels, self.kind, ticks, values)
+
+
+class TimeSeries:
+    """Query wrapper over a ``repro.obs.timeseries/1`` document."""
+
+    def __init__(self, doc: Dict[str, Any]) -> None:
+        self.doc = doc
+        self._by_key: Dict[Tuple[str, LabelKey], Dict[str, Any]] = {}
+        for entry in doc["series"]:
+            key = (entry["name"], _label_key(entry["labels"]))
+            self._by_key[key] = entry
+
+    @classmethod
+    def from_document(cls, doc: Dict[str, Any]) -> "TimeSeries":
+        return cls(validate_timeseries(doc))
+
+    @classmethod
+    def load(cls, path: str) -> "TimeSeries":
+        return cls.from_document(read_timeseries(path))
+
+    @property
+    def ticks(self) -> List[int]:
+        return self.doc["ticks"]
+
+    @property
+    def interval_ns(self) -> int:
+        return self.doc["interval_ns"]
+
+    def names(self) -> List[str]:
+        return sorted({entry["name"] for entry in self.doc["series"]})
+
+    def series(self, name: str, **labels: Any) -> Optional[SeriesData]:
+        entry = self._by_key.get((name, _label_key(labels)))
+        if entry is None:
+            return None
+        return SeriesData(
+            entry["name"], dict(entry["labels"]), entry["kind"],
+            list(self.doc["ticks"]), list(entry["values"]),
+        )
+
+    def select(self, name: str, **labels: Any) -> List[SeriesData]:
+        """Every series of ``name`` whose labels are a superset of the
+        given ones (label-subset match, like a PromQL selector)."""
+        wanted = set(labels.items())
+        out = []
+        for (sname, _key), entry in sorted(
+            self._by_key.items(), key=lambda item: (item[0][0], repr(item[0][1]))
+        ):
+            if sname != name:
+                continue
+            if not wanted <= set(entry["labels"].items()):
+                continue
+            out.append(SeriesData(
+                entry["name"], dict(entry["labels"]), entry["kind"],
+                list(self.doc["ticks"]), list(entry["values"]),
+            ))
+        return out
+
+    def marks(self) -> List[Dict[str, Any]]:
+        return list(self.doc.get("marks", []))
+
+
+# -- the artifact ---------------------------------------------------------------------
+
+
+class TimeSeriesSchemaError(ValueError):
+    """Raised by :func:`validate_timeseries` on a malformed document."""
+
+
+def _fail(path: str, why: str) -> None:
+    raise TimeSeriesSchemaError(f"{path}: {why}")
+
+
+def validate_timeseries(doc: Any) -> Dict[str, Any]:
+    """Structurally validate a timeseries document; returns it on success."""
+    if not isinstance(doc, dict):
+        _fail("$", f"expected object, got {type(doc).__name__}")
+    if doc.get("schema") != TIMESERIES_SCHEMA:
+        _fail("$.schema", f"expected {TIMESERIES_SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("name"), str):
+        _fail("$.name", "expected string")
+    for field in ("interval_ns", "capacity", "samples_taken",
+                  "dropped_ticks", "dropped_series"):
+        value = doc.get(field)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            _fail(f"$.{field}", "expected non-negative int")
+    if doc["interval_ns"] <= 0:
+        _fail("$.interval_ns", "expected positive int")
+    ticks = doc.get("ticks")
+    if not isinstance(ticks, list) or not all(
+        isinstance(t, int) and not isinstance(t, bool) for t in ticks
+    ):
+        _fail("$.ticks", "expected array of ints")
+    if any(b <= a for a, b in zip(ticks, ticks[1:])):
+        _fail("$.ticks", "expected strictly increasing times")
+    series = doc.get("series")
+    if not isinstance(series, list):
+        _fail("$.series", "expected array")
+    for i, entry in enumerate(series):
+        path = f"$.series[{i}]"
+        if not isinstance(entry, dict):
+            _fail(path, "expected object")
+        if not isinstance(entry.get("name"), str) or not entry["name"]:
+            _fail(f"{path}.name", "expected non-empty string")
+        if not isinstance(entry.get("labels"), dict):
+            _fail(f"{path}.labels", "expected object")
+        if not isinstance(entry.get("kind"), str):
+            _fail(f"{path}.kind", "expected string")
+        dropped = entry.get("dropped")
+        if not isinstance(dropped, int) or isinstance(dropped, bool) or dropped < 0:
+            _fail(f"{path}.dropped", "expected non-negative int")
+        values = entry.get("values")
+        if not isinstance(values, list):
+            _fail(f"{path}.values", "expected array")
+        if len(values) != len(ticks):
+            _fail(f"{path}.values",
+                  f"{len(values)} values for {len(ticks)} ticks")
+        for j, value in enumerate(values):
+            if value is not None and (
+                not isinstance(value, (int, float)) or isinstance(value, bool)
+            ):
+                _fail(f"{path}.values[{j}]", "expected number or null")
+    marks = doc.get("marks")
+    if not isinstance(marks, list):
+        _fail("$.marks", "expected array")
+    for i, entry in enumerate(marks):
+        path = f"$.marks[{i}]"
+        if not isinstance(entry, dict):
+            _fail(path, "expected object")
+        if not isinstance(entry.get("t_ns"), int):
+            _fail(f"{path}.t_ns", "expected int")
+        for field in ("component", "event"):
+            if not isinstance(entry.get(field), str):
+                _fail(f"{path}.{field}", "expected string")
+    return doc
+
+
+def write_timeseries(path: str, doc: Dict[str, Any]) -> None:
+    """Validate and write a timeseries artifact as JSON."""
+    validate_timeseries(doc)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def read_timeseries(path: str) -> Dict[str, Any]:
+    """Load and validate a timeseries artifact from disk."""
+    with open(path) as fh:
+        return validate_timeseries(json.load(fh))

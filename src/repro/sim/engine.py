@@ -79,6 +79,12 @@ class Simulator:
         #: EventLoopProfiler); None disables the per-event perf_counter
         #: calls entirely.
         self.profiler = None
+        #: optional time-series sampler (repro.obs.timeseries.
+        #: TimeSeriesSampler).  None (the default) costs nothing: the
+        #: sampler is pull-only and drives itself with its own periodic
+        #: event, so no dispatch-path code ever consults this attribute
+        #: -- it exists so tools (doctor, watch) can find the sampler.
+        self.sampler = None
 
     def enable_metrics(self) -> None:
         """Turn on telemetry and publish the engine's own series."""

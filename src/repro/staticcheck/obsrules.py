@@ -19,6 +19,13 @@ keep call sites inside that contract:
   ``None``, then record.  Calling through ``x.recorder.record(...)``
   either double-loads the attribute on the hot path or, unguarded,
   crashes when the recorder is off.
+* **RS304** -- time-series sampler discipline: collectors registered via
+  ``add_collector`` must use literal series names (same schema-stability
+  argument as RS301), sampler ring capacities must be literal ints (a
+  computed capacity defeats the "bounded everything" audit), and a
+  collector callback must not ``.append`` to anything -- collectors are
+  pure reads sampled every tick; an appending callback is an unbounded
+  buffer growing at the sampling rate.
 """
 
 from __future__ import annotations
@@ -51,7 +58,18 @@ IMPLEMENTATION_MODULES = frozenset({
     "repro.obs.registry",
     "repro.obs.flight",
     "repro.obs.spans",
+    "repro.obs.timeseries",
 })
+
+#: receivers that look like a time-series sampler
+SAMPLER_HINTS = ("sampler",)
+
+#: sampler configuration keywords that must stay literal ints so the
+#: "bounded everything" promise is auditable statically
+CAPACITY_KWARGS = frozenset({"capacity", "mark_capacity", "max_series"})
+
+#: constructors whose capacity keywords RS304 audits
+SAMPLER_CTORS = frozenset({"TimeSeriesConfig", "SeriesRing"})
 
 #: maximum labels per instrument call: more is a cardinality smell
 MAX_LABELS = 4
@@ -81,6 +99,14 @@ class ObsDisciplinePass(Pass):
             paper="DESIGN.md flight-recorder disabled path",
             hint="load it once (rec = <owner>.recorder), test 'if rec is not None', then record",
         ),
+        Rule(
+            id="RS304",
+            title="sampler collector breaks the bounded-ring discipline",
+            invariant="every sampler buffer is bounded and statically auditable",
+            paper="repro.obs.timeseries ring discipline (§6.7)",
+            hint="use a literal series name, a literal ring capacity, and a "
+                 "read-only collector callback (no .append)",
+        ),
     )
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:
@@ -89,6 +115,7 @@ class ObsDisciplinePass(Pass):
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call):
                 yield from self._check_metric_call(module, node)
+                yield from self._check_sampler_call(module, node)
         for scope in function_scopes(module.tree):
             if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 yield from self._check_recorder_calls(module, scope)
@@ -145,6 +172,59 @@ class ObsDisciplinePass(Pass):
                 and node.func.attr == "format"):
             return True
         return False
+
+    # -- RS304 -------------------------------------------------------------------------
+
+    def _check_sampler_call(self, module: ParsedModule,
+                            node: ast.Call) -> Iterator[Finding]:
+        # literal capacities on the sampler's own configuration objects
+        ctor = None
+        if isinstance(node.func, ast.Name):
+            ctor = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            ctor = node.func.attr
+        if ctor in SAMPLER_CTORS:
+            for keyword in node.keywords:
+                if keyword.arg in CAPACITY_KWARGS and not (
+                    isinstance(keyword.value, ast.Constant)
+                    and isinstance(keyword.value.value, int)
+                    and not isinstance(keyword.value.value, bool)
+                ):
+                    yield self.finding(
+                        "RS304", module, keyword.value,
+                        f"{ctor}({keyword.arg}=...) is not a literal int: "
+                        f"ring bounds must be auditable without running the code",
+                    )
+
+        if not (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_collector"):
+            return
+        receiver = dotted_name(node.func.value) or ""
+        tail = receiver.rsplit(".", 1)[-1]
+        if not any(hint in tail for hint in SAMPLER_HINTS):
+            return
+        if node.args:
+            name_arg = node.args[0]
+            if not (isinstance(name_arg, ast.Constant)
+                    and isinstance(name_arg.value, str)):
+                yield self.finding(
+                    "RS304", module, name_arg,
+                    f"{receiver}.add_collector() series name is computed, "
+                    f"not a string literal",
+                )
+        for value in list(node.args[1:]) + [k.value for k in node.keywords]:
+            if not isinstance(value, ast.Lambda):
+                continue
+            for inner in ast.walk(value.body):
+                if (isinstance(inner, ast.Call)
+                        and isinstance(inner.func, ast.Attribute)
+                        and inner.func.attr == "append"):
+                    yield self.finding(
+                        "RS304", module, inner,
+                        "collector callback calls .append(): collectors are "
+                        "read-only samples, not accumulators -- this grows "
+                        "without bound at the sampling rate",
+                    )
 
     # -- RS303 -------------------------------------------------------------------------
 

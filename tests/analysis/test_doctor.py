@@ -68,3 +68,55 @@ def test_render_is_readable():
     text = diagnose(net).render()
     assert "health report" in text
     assert "3 switches" in text
+
+
+def test_all_sections_render_end_to_end():
+    """ISSUE 5 satellite: every doctor section -- telemetry, flight,
+    staticcheck, campaign, and the new timeseries -- renders on a
+    torus-3x4 run without raising."""
+    from repro.analysis.doctor import (
+        campaign_report,
+        flight_report,
+        staticcheck_report,
+        telemetry_dashboard,
+        timeseries_report,
+    )
+    from repro.chaos.campaign import CampaignConfig, CampaignRunner
+
+    net = Network(
+        torus(3, 4), seed=0, telemetry=True, flight=True, profile=True,
+        timeseries=True,
+    )
+    assert net.run_until_converged(timeout_ns=60 * SEC)
+    net.cut_link(0, 1)
+    assert net.run_until_converged(timeout_ns=60 * SEC)
+
+    dashboard = telemetry_dashboard(net)
+    assert "telemetry @" in dashboard
+    assert "reconfiguration epoch" in dashboard
+    # the dashboard folds in the flight and timeseries sections when on
+    assert "flight recorder:" in dashboard
+    assert "timeseries:" in dashboard
+
+    flight = flight_report(net)
+    assert "events recorded" in flight
+    assert "deepest causal chain" in flight
+
+    series = timeseries_report(net)
+    assert "samples every" in series
+    assert "sw0" in series and "epoch" in series
+    # a network built without the sampler degrades gracefully
+    assert "off (build Network" in timeseries_report(Network(ring(3)))
+
+    static = staticcheck_report()
+    assert "staticcheck:" in static
+    assert "OK" in static or "FAIL" in static
+
+    runner = CampaignRunner(CampaignConfig(topology="ring-4", schedules=1, seed=0))
+    runner.run()
+    campaign = campaign_report(runner.document())
+    assert "chaos campaign" in campaign
+    assert "schedules passed" in campaign
+
+    report = diagnose(net)
+    assert report.healthy, report.render()

@@ -176,6 +176,24 @@ def test_run_schedule_result_unchanged_by_tracing(tmp_path):
     assert plain.injected == traced.injected
 
 
+def test_run_schedule_timeseries_artifact_written_and_valid(tmp_path):
+    """timeseries_path records the longitudinal sampler over the faulted
+    run and writes a validated artifact, without changing the result."""
+    from repro.obs.timeseries import read_timeseries
+
+    runner = CampaignRunner(quick_config(schedules=1))
+    schedule = runner.sample_schedule(0)
+    plain = runner.run_schedule(schedule)
+    ts_path = str(tmp_path / "s.timeseries.json")
+    sampled = runner.run_schedule(schedule, timeseries_path=ts_path)
+    assert plain.passed == sampled.passed
+    assert plain.sim_ns == sampled.sim_ns
+    assert plain.injected == sampled.injected
+    doc = read_timeseries(ts_path)  # raises TimeSeriesSchemaError if malformed
+    assert doc["samples_taken"] > 0
+    assert any(s["name"] == "epoch" for s in doc["series"])
+
+
 def test_unknown_topology_is_rejected_with_suggestions():
     with pytest.raises(ValueError):
         CampaignRunner(quick_config(topology="moebius-9"))

@@ -42,6 +42,49 @@ def test_histogram_buckets_and_moments():
     assert snap["buckets"] == {"10": 1, "100": 1, "1000": 1, "+Inf": 1}
 
 
+def test_histogram_quantile_round_trip():
+    # 5000 uniform samples through fine buckets: the interpolated
+    # quantiles must land close to the exact empirical ones
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=tuple(range(100, 10100, 100)))
+    values = [(i * 7919) % 10000 + 1 for i in range(5000)]
+    for v in values:
+        h.observe(v)
+    ordered = sorted(values)
+    for q in (0.50, 0.90, 0.99):
+        exact = ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+        estimate = h.quantile(q)
+        assert estimate == pytest.approx(exact, rel=0.05), (q, estimate, exact)
+    snap = h.snapshot_value()
+    assert snap["p50"] == h.quantile(0.50)
+    assert snap["p90"] == h.quantile(0.90)
+    assert snap["p99"] == h.quantile(0.99)
+
+
+def test_histogram_quantile_edge_cases():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=(10, 100))
+    assert h.quantile(0.5) is None  # empty histogram
+    h.observe(42)
+    # single observation: every quantile is that value
+    assert h.quantile(0.5) == 42
+    assert h.quantile(0.99) == 42
+    with pytest.raises(ValueError):
+        h.quantile(0.0)
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_histogram_quantile_overflow_bucket_stays_within_data():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=(10,))
+    for v in (50, 60, 70, 80):  # all beyond the last bound
+        h.observe(v)
+    for q in (0.5, 0.9, 0.99):
+        est = h.quantile(q)
+        assert 50 <= est <= 80
+
+
 def test_distinct_labels_are_distinct_series():
     reg = MetricsRegistry()
     reg.counter("drops", port=1).inc(2)

@@ -1,0 +1,261 @@
+"""The longitudinal sampler: rings, alignment, artifact, acceptance."""
+
+import json
+
+import pytest
+
+from repro.constants import MS, SEC
+from repro.network import Network
+from repro.obs.timeseries import (
+    SeriesData,
+    SeriesRing,
+    TimeSeries,
+    TimeSeriesConfig,
+    TimeSeriesSampler,
+    TimeSeriesSchemaError,
+    read_timeseries,
+    validate_timeseries,
+    write_timeseries,
+)
+from repro.sim.engine import Simulator
+from repro.topology import ring, torus
+
+
+# -- rings ----------------------------------------------------------------------------
+
+
+def test_ring_overflow_evicts_oldest_and_counts():
+    r = SeriesRing("x", {}, "gauge", capacity=4, created_tick=0)
+    for i in range(10):
+        r.append(float(i))
+    assert len(r) == 4
+    assert r.values() == [6.0, 7.0, 8.0, 9.0]
+    assert r.dropped == 6
+    assert r.total == 10
+
+
+def test_ring_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        SeriesRing("x", {}, "gauge", capacity=0, created_tick=0)
+
+
+# -- the sampler on a bare simulator ---------------------------------------------------
+
+
+def test_sampler_ticks_and_collectors_align():
+    sim = Simulator()
+    sampler = TimeSeriesSampler(sim, TimeSeriesConfig(interval_ns=10 * MS))
+    state = {"v": 0.0}
+    sampler.add_collector("v", lambda: state["v"])
+    sampler.start()
+    sim.at(35 * MS, lambda: state.update(v=5.0))
+    sim.run(until=60 * MS)
+    # ticks at 10,20,30,40,50,60 ms
+    assert sampler.ticks() == [10 * MS, 20 * MS, 30 * MS, 40 * MS, 50 * MS, 60 * MS]
+    series = sampler.view().series("v")
+    assert series.values == [0.0, 0.0, 0.0, 5.0, 5.0, 5.0]
+
+
+def test_late_series_left_padded_in_document():
+    sim = Simulator()
+    sampler = TimeSeriesSampler(sim, TimeSeriesConfig(interval_ns=10 * MS))
+    sampler.add_collector("early", lambda: 1.0)
+    sampler.start()
+    sim.run(until=30 * MS)
+    sampler.add_collector("late", lambda: 2.0)
+    sim.run(until=60 * MS)
+    doc = sampler.document()
+    validate_timeseries(doc)
+    by_name = {s["name"]: s for s in doc["series"]}
+    assert by_name["early"]["values"] == [1.0] * 6
+    assert by_name["late"]["values"] == [None, None, None, 2.0, 2.0, 2.0]
+
+
+def test_registry_series_are_sampled():
+    sim = Simulator()
+    sim.enable_metrics()
+    counter = sim.metrics.counter("things", who="a")
+    sampler = TimeSeriesSampler(sim, TimeSeriesConfig(interval_ns=10 * MS))
+    sampler.start()
+    sim.at(15 * MS, lambda: counter.inc(3))
+    sim.run(until=30 * MS)
+    series = sampler.view().series("things", who="a")
+    assert series.values == [0.0, 3.0, 3.0]
+
+
+def test_max_series_cap_refuses_and_counts():
+    sim = Simulator()
+    sampler = TimeSeriesSampler(
+        sim, TimeSeriesConfig(interval_ns=10 * MS, max_series=2)
+    )
+    sampler.add_collector("a", lambda: 1.0)
+    sampler.add_collector("b", lambda: 2.0)
+    sampler.add_collector("c", lambda: 3.0)  # refused
+    sampler.start()
+    sim.run(until=20 * MS)
+    assert sampler.series_count() == 2
+    assert sampler.dropped_series == 1
+
+
+def test_mark_ring_is_bounded():
+    sim = Simulator()
+    sampler = TimeSeriesSampler(
+        sim, TimeSeriesConfig(interval_ns=10 * MS, mark_capacity=3)
+    )
+    for i in range(7):
+        sampler.mark(i, "sw0", f"event-{i}")
+    doc = sampler.document()
+    assert [m["event"] for m in doc["marks"]] == ["event-4", "event-5", "event-6"]
+
+
+def test_stop_cancels_future_samples():
+    sim = Simulator()
+    sampler = TimeSeriesSampler(sim, TimeSeriesConfig(interval_ns=10 * MS))
+    sampler.add_collector("v", lambda: 1.0)
+    sampler.start()
+    sim.run(until=20 * MS)
+    sampler.stop()
+    sim.run(until=100 * MS)
+    assert sampler.samples_taken == 2
+
+
+# -- query API -------------------------------------------------------------------------
+
+
+def _data(ticks, values):
+    return SeriesData("s", {}, "gauge", ticks, values)
+
+
+def test_window_delta_and_aggregates():
+    s = _data([10, 20, 30, 40], [1.0, None, 5.0, 2.0])
+    assert s.points() == [(10, 1.0), (30, 5.0), (40, 2.0)]
+    assert s.delta() == 1.0  # 2.0 - 1.0, gaps skipped
+    assert s.window(20, 40).points() == [(30, 5.0)]
+    assert s.last() == 2.0 and s.max() == 5.0 and s.min() == 1.0
+    assert _data([10], [1.0]).delta() is None
+
+
+def test_resample_aggregates():
+    s = _data([10, 15, 20, 25], [1.0, 3.0, 5.0, 7.0])
+    assert s.resample(10, how="last").values == [3.0, 7.0]
+    assert s.resample(10, how="mean").values == [2.0, 6.0]
+    assert s.resample(10, how="max").values == [3.0, 7.0]
+    assert s.resample(10, how="min").values == [1.0, 5.0]
+    with pytest.raises(ValueError):
+        s.resample(0)
+    with pytest.raises(ValueError):
+        s.resample(10, how="median")
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        _data([10, 20], [1.0])
+
+
+# -- the artifact ----------------------------------------------------------------------
+
+
+def _tiny_doc():
+    sim = Simulator()
+    sampler = TimeSeriesSampler(sim, TimeSeriesConfig(interval_ns=10 * MS))
+    sampler.add_collector("v", lambda: 1.0, switch="sw0")
+    sampler.start()
+    sampler.mark(5 * MS, "sw0", "epoch-started")
+    sim.run(until=30 * MS)
+    return sampler.document(name="tiny")
+
+
+def test_artifact_round_trip(tmp_path):
+    doc = _tiny_doc()
+    path = tmp_path / "ts.json"
+    write_timeseries(str(path), doc)
+    loaded = read_timeseries(str(path))
+    assert loaded == doc
+    ts = TimeSeries.load(str(path))
+    assert ts.series("v", switch="sw0").values == [1.0, 1.0, 1.0]
+    assert ts.marks()[0]["event"] == "epoch-started"
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda d: d.update(schema="bogus/9"),
+        lambda d: d.update(interval_ns=0),
+        lambda d: d.update(ticks=[30, 20, 10]),
+        lambda d: d.update(ticks=["a"]),
+        lambda d: d["series"][0].update(values=[1.0]),  # length mismatch
+        lambda d: d["series"][0].update(name=""),
+        lambda d: d["series"][0]["values"].__setitem__(0, "oops"),
+        lambda d: d["series"][0].update(dropped=-1),
+        lambda d: d.update(marks=[{"t_ns": "late", "component": "x", "event": "y"}]),
+    ],
+)
+def test_validator_rejects_malformed(mutate):
+    doc = _tiny_doc()
+    mutate(doc)
+    with pytest.raises(TimeSeriesSchemaError):
+        validate_timeseries(doc)
+
+
+# -- acceptance: the full network path -------------------------------------------------
+
+
+def test_network_records_cut_and_epoch(tmp_path):
+    """ISSUE 5 acceptance: a torus-3x4 run with the sampler on produces a
+    validating artifact whose port-state series captures a mid-run link
+    cut and the subsequent epoch."""
+    net = Network(torus(3, 4), seed=0, timeseries=TimeSeriesConfig(interval_ns=50 * MS))
+    net.sim.at(1 * SEC, net.cut_link, 0, 1)
+    net.run_for(3 * SEC)
+
+    path = tmp_path / "torus.timeseries.json"
+    net.export_timeseries(str(path))
+    ts = TimeSeries.load(str(path))  # validates on load
+
+    # the cut is visible: sw0 loses a good port for good
+    good = ts.series("ports_in_state", switch="sw0", state="s.switch.good")
+    before = good.window(0, 1 * SEC).last()
+    after = good.last()
+    assert before == 4.0 and after == 3.0
+
+    # the subsequent epoch is visible: the epoch series strictly grows
+    # across the cut on every switch
+    for name in ("sw0", "sw1"):
+        epoch = ts.series("epoch", switch=name)
+        assert epoch.window(1 * SEC, net.sim.now + 1).delta() > 0
+
+    # the blackout flag pulsed during reconfiguration and cleared
+    dark = ts.series("blackout_in_progress", switch="sw0")
+    assert dark.max() == 1.0 and dark.last() == 0.0
+
+    # span marks landed in the ring
+    events = {m["event"] for m in ts.marks()}
+    assert "table-loaded" in events
+
+
+def test_disabled_sampler_leaves_run_byte_identical():
+    """ISSUE 5 acceptance (determinism): with the sampler off, telemetry
+    output is byte-identical whether or not the module is in play."""
+    def run(timeseries):
+        net = Network(ring(4), seed=7, telemetry=True, timeseries=timeseries)
+        net.sim.at(1 * SEC, net.cut_link, 0, 1)
+        net.run_for(4 * SEC)
+        snap = net.telemetry()
+        return json.dumps(snap, sort_keys=True, default=str)
+
+    assert run(False) == run(None)
+
+
+def test_sampler_survives_switch_restart():
+    """Collectors late-bind through the autopilot list, so a restarted
+    switch keeps reporting without re-registration (None while dead)."""
+    net = Network(ring(4), seed=0, timeseries=TimeSeriesConfig(interval_ns=50 * MS))
+    net.run_for(1 * SEC)
+    net.crash_switch(1)
+    net.run_for(1 * SEC)
+    net.restart_switch(1)
+    net.run_for(3 * SEC)
+    epoch = net.sampler.view().series("epoch", switch="sw1")
+    values = epoch.values
+    assert None in values  # dead window
+    assert values[-1] is not None  # reporting again after restart

@@ -141,3 +141,68 @@ def test_rs303_implementation_module_exempt():
         module="repro.obs.flight", path="src/repro/obs/flight.py",
     )
     assert findings == []
+
+
+# -- RS304: sampler bounded-ring discipline -------------------------------------------
+
+
+def test_rs304_computed_collector_name_flagged():
+    findings = check(
+        "def install(self, name):\n"
+        "    self.sampler.add_collector('fifo_' + name, lambda: 0.0)\n"
+    )
+    assert "RS304" in rules_of(findings)
+
+
+def test_rs304_fstring_collector_name_flagged():
+    findings = check(
+        "def install(self, sw):\n"
+        "    self.sim.sampler.add_collector(f'epoch_{sw}', lambda: 0.0)\n"
+    )
+    assert "RS304" in rules_of(findings)
+
+
+def test_rs304_appending_collector_callback_flagged():
+    findings = check(
+        "def install(self, log):\n"
+        "    self.sampler.add_collector('epoch', lambda: log.append(1))\n"
+    )
+    assert "RS304" in rules_of(findings)
+
+
+def test_rs304_computed_ring_capacity_flagged():
+    findings = check(
+        "from repro.obs.timeseries import TimeSeriesConfig\n"
+        "def build(self, n):\n"
+        "    return TimeSeriesConfig(capacity=n * 4)\n"
+    )
+    assert "RS304" in rules_of(findings)
+
+
+def test_rs304_clean_literal_name_capacity_and_pure_callback():
+    findings = check(
+        "from repro.obs.timeseries import TimeSeriesConfig\n"
+        "def install(self, sw):\n"
+        "    config = TimeSeriesConfig(capacity=1024, mark_capacity=256)\n"
+        "    self.sampler.add_collector(\n"
+        "        'epoch', lambda: float(self.engines[sw].epoch), switch=sw)\n"
+        "    return config\n"
+    )
+    assert findings == []
+
+
+def test_rs304_unrelated_receivers_ignored():
+    findings = check(
+        "def f(gatherer, name):\n"
+        "    gatherer.add_collector(name, lambda: 0)\n"
+    )
+    assert findings == []
+
+
+def test_rs304_implementation_module_exempt():
+    findings = check_source(
+        "def _ring(self, name, labels):\n"
+        "    self.sampler.add_collector(name, lambda: self.rows.append(1))\n",
+        module="repro.obs.timeseries", path="src/repro/obs/timeseries.py",
+    )
+    assert findings == []
