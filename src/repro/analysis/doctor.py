@@ -224,6 +224,9 @@ def telemetry_dashboard(network) -> str:
     if getattr(network, "sampler", None) is not None:
         lines.append("")
         lines.append(timeseries_report(network))
+    if getattr(network, "inband", None) is not None:
+        lines.append("")
+        lines.append(path_report(network))
     return "\n".join(lines)
 
 
@@ -298,6 +301,53 @@ def timeseries_report(network, width: int = 32) -> str:
     lines.append("")
     frame = render_frame(sampler.view(), now_ns=network.sim.now, width=width)
     lines.extend(f"  {line}".rstrip() for line in frame.splitlines())
+    return "\n".join(lines)
+
+
+def path_report(network, width: int = 32, top: int = 6) -> str:
+    """The ``path telemetry`` section of the doctor's output: what the
+    in-band layer saw ride the data plane -- per-flow delivery p50/p99
+    and detected path changes, the SLO drop ledger, per-epoch blackout
+    windows, and the per-link congestion heat rows the watch dashboard
+    shows.  Off unless the network was built with ``Network(inband=...)``."""
+    from repro.obs.watch import congestion_rows
+
+    inband = getattr(network, "inband", None)
+    lines = ["path telemetry:"]
+    if inband is None:
+        lines.append("  off (build Network(inband=True) to stamp packets)")
+        return "\n".join(lines)
+    doc = inband.document()
+    slo = doc["slo"]
+
+    def fmt(value):
+        return "-" if value is None else f"{value / 1e3:.1f}us"
+
+    lines.append(
+        f"  {doc['hops_recorded']} hop records, {slo['deliveries']} "
+        f"deliveries, p50 {fmt(slo['p50_ns'])} p99 {fmt(slo['p99_ns'])}, "
+        f"drops {sum(slo['drops'].values())}"
+    )
+    for flow in doc["flows"]:
+        lines.append(
+            f"    {flow['src_uid']:012x} -> {flow['dest_uid']:012x}: "
+            f"{flow['deliveries']} delivered, "
+            f"p50 {fmt(flow['latency_p50_ns'])} "
+            f"p99 {fmt(flow['latency_p99_ns'])}, "
+            f"{flow['paths_seen']} path(s), {len(flow['changes'])} change(s)"
+        )
+    for window in slo["windows"]:
+        if window["max_blackout_ns"] is None:
+            continue
+        lines.append(
+            f"    epoch {window['epoch']} blackout "
+            f"{window['max_blackout_ns'] / 1e6:.1f} ms: "
+            f"{window['deliveries']} delivered, {window['drops']} dropped"
+        )
+    heat = congestion_rows(doc, width=width, top=top)
+    if heat:
+        lines.append("")
+        lines.extend(f"  {row}".rstrip() for row in heat)
     return "\n".join(lines)
 
 

@@ -71,6 +71,13 @@ def main(argv=None) -> int:
         help="with --replay: record a flight trace of the replay "
         "and write the Perfetto JSON here",
     )
+    parser.add_argument(
+        "--inband",
+        metavar="PATH",
+        default=None,
+        help="with --replay: record in-band path telemetry and write "
+        "the repro.obs.inband/1 artifact here",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress per-schedule progress lines")
     args = parser.parse_args(argv)
 
@@ -131,16 +138,22 @@ def _shrink_failures(runner: CampaignRunner, args) -> None:
             lambda s: not runner.run_schedule(s).passed,
         )
         # the confirmation replay doubles as the recording pass: the
-        # causal flight trace and the longitudinal timeseries land next
-        # to the reproducer, so both the event timeline and the
-        # port-state/FIFO/epoch trajectory of the minimal failure ship
-        # with it (replayable via `python -m repro.obs watch --replay`)
+        # causal flight trace, the longitudinal timeseries, and the
+        # in-band path telemetry land next to the reproducer, so the
+        # event timeline, the port-state/FIFO/epoch trajectory, and the
+        # data-plane SLO damage of the minimal failure all ship with it
+        # (replayable via `python -m repro.obs watch --replay` and
+        # inspectable via the repro.obs.inband validator/query API)
         trace_path = os.path.join(args.artifact_dir, f"{result.name}.trace.json")
         timeseries_path = os.path.join(
             args.artifact_dir, f"{result.name}.timeseries.json"
         )
+        inband_path = os.path.join(args.artifact_dir, f"{result.name}.inband.json")
         replayed = runner.run_schedule(
-            minimal, trace_path=trace_path, timeseries_path=timeseries_path
+            minimal,
+            trace_path=trace_path,
+            timeseries_path=timeseries_path,
+            inband_path=inband_path,
         )
         path = os.path.join(args.artifact_dir, f"{result.name}.json")
         artifact = reproducer_dict(
@@ -152,7 +165,8 @@ def _shrink_failures(runner: CampaignRunner, args) -> None:
         write_artifact(path, artifact)
         print(
             f"  -> {len(minimal.events)} events after {runs} runs: {path} "
-            f"(trace: {trace_path}, timeseries: {timeseries_path})",
+            f"(trace: {trace_path}, timeseries: {timeseries_path}, "
+            f"inband: {inband_path})",
             flush=True,
         )
     skipped = len(runner.failures) - MAX_SHRINKS
@@ -164,10 +178,14 @@ def _replay(args) -> int:
     from repro.chaos.replay import load_artifact, replay_artifact
 
     doc = load_artifact(args.replay)
-    result = replay_artifact(args.replay, trace_path=args.trace)
+    result = replay_artifact(
+        args.replay, trace_path=args.trace, inband_path=args.inband
+    )
     print(result.schedule.describe())
     if args.trace:
         print(f"flight trace written to {args.trace}")
+    if args.inband:
+        print(f"in-band telemetry written to {args.inband}")
     print()
     if result.passed:
         print("replay PASSED: the artifact no longer reproduces a violation")

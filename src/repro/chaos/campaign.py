@@ -117,7 +117,11 @@ class CampaignRunner:
         return plan
 
     def build_network(
-        self, schedule: Schedule, flight: bool = False, timeseries: bool = False
+        self,
+        schedule: Schedule,
+        flight: bool = False,
+        timeseries: bool = False,
+        inband: bool = False,
     ) -> Network:
         network = Network(
             self.spec,
@@ -125,6 +129,7 @@ class CampaignRunner:
             telemetry=True,
             flight=flight,
             timeseries=timeseries,
+            inband=inband,
         )
         for name, attachments in self._host_plan():
             network.add_host(name, attachments)
@@ -138,16 +143,19 @@ class CampaignRunner:
         name: str = "",
         trace_path: Optional[str] = None,
         timeseries_path: Optional[str] = None,
+        inband_path: Optional[str] = None,
     ) -> ScheduleResult:
         """Run one schedule; ``trace_path`` turns on the flight recorder
-        for this run and writes the Perfetto trace there afterwards, and
-        ``timeseries_path`` does the same for the longitudinal sampler
-        (both are observational, so the run itself is unchanged)."""
+        for this run and writes the Perfetto trace there afterwards,
+        ``timeseries_path`` does the same for the longitudinal sampler,
+        and ``inband_path`` for the in-band path telemetry layer (all
+        are observational, so the run itself is unchanged)."""
         result = ScheduleResult(name=name or schedule.name, schedule=schedule)
         network = self.build_network(
             schedule,
             flight=trace_path is not None,
             timeseries=timeseries_path is not None,
+            inband=inband_path is not None,
         )
         try:
             return self._run_schedule(network, schedule, result)
@@ -156,6 +164,8 @@ class CampaignRunner:
                 network.export_flight_trace(trace_path)
             if timeseries_path is not None:
                 network.export_timeseries(timeseries_path)
+            if inband_path is not None:
+                network.export_inband(inband_path)
 
     def _run_schedule(
         self, network: Network, schedule: Schedule, result: ScheduleResult

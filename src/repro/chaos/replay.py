@@ -66,14 +66,21 @@ def load_artifact(path: str) -> Dict[str, Any]:
     return doc
 
 
-def replay_artifact(path: str, config=None, trace_path: Optional[str] = None):
+def replay_artifact(
+    path: str,
+    config=None,
+    trace_path: Optional[str] = None,
+    inband_path: Optional[str] = None,
+):
     """Re-run an artifact's schedule; returns its ScheduleResult.
 
     ``config`` (a :class:`~repro.chaos.campaign.CampaignConfig`)
     overrides everything except the topology, which always comes from
     the artifact.  ``trace_path`` records a flight trace of the replay
     and writes the Perfetto document there -- the causal timeline of the
-    very run the reproducer provokes.
+    very run the reproducer provokes.  ``inband_path`` records in-band
+    path telemetry (per-flow paths, SLO damage) and writes the
+    ``repro.obs.inband/1`` artifact there.
     """
     from repro.chaos.campaign import CampaignConfig, CampaignRunner
 
@@ -83,5 +90,8 @@ def replay_artifact(path: str, config=None, trace_path: Optional[str] = None):
     config.topology = schedule.topology
     runner = CampaignRunner(config)
     return runner.run_schedule(
-        schedule, name=schedule.name or "replay", trace_path=trace_path
+        schedule,
+        name=schedule.name or "replay",
+        trace_path=trace_path,
+        inband_path=inband_path,
     )

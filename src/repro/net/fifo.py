@@ -269,6 +269,9 @@ class ReceiveFifo:
             victim = self._arriving_entry()
             if victim is not None:
                 victim.packet.corrupted = True
+            ib = self.sim.inband
+            if ib is not None:
+                ib.record_queue_drop(victim.packet if victim else None, self.name)
             if self.on_overflow is not None:
                 self.on_overflow(victim.packet if victim else None)
 

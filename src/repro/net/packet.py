@@ -66,6 +66,10 @@ class Packet:
     #: flight-recorder id of the send event; crosses the wire with the
     #: packet so the receive can link back to it causally
     flight_eid: Optional[int] = None
+    #: in-band telemetry hop stack: (t_ns, switch, in port, out ports,
+    #: fifo depth) per hop; None (the default) when inband telemetry is
+    #: off -- no list is allocated on the disabled path
+    hops: Optional[List[Tuple[int, str, int, Tuple[int, ...], float]]] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.data_bytes <= MAX_DATA_BYTES:

@@ -182,6 +182,9 @@ class Switch:
             self.packets_discarded += 1
             self._drop("table-discard", in_port)
             packet.record_hop(self.name, in_port, ())
+            ib = self.sim.inband
+            if ib is not None:
+                ib.record_drop(packet, self.name, "table-discard")
             self._fifo_for(in_port).connect_drain([self.discard_sink], broadcast=False)
             return
         self.engine.add_request(Request(in_port, entry, packet))
@@ -198,6 +201,12 @@ class Switch:
                 unit.set_drain_source(fifo)
         self.crossbar.connect(request.in_port, ports)
         request.packet.record_hop(self.name, request.in_port, ports)
+        ib = self.sim.inband
+        if ib is not None:
+            ib.record_hop(
+                request.packet, self.name, request.in_port, ports,
+                fifo.peek_level(),
+            )
         self.packets_forwarded += 1
         self.port_forwarded[request.in_port] = (
             self.port_forwarded.get(request.in_port, 0) + 1

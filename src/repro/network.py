@@ -23,6 +23,7 @@ from repro.host.driver import AutonetDriver
 from repro.net.link import Link, LinkState, connect
 from repro.net.switch import Switch
 from repro.obs.flight import FlightRecorder
+from repro.obs.inband import InbandConfig, InbandTelemetry
 from repro.obs.profiler import EventLoopProfiler
 from repro.obs.spans import ReconfigTracer
 from repro.obs.timeseries import TimeSeriesConfig, TimeSeriesSampler
@@ -66,6 +67,7 @@ class Network:
         flight_capacity: int = 65536,
         profile: bool = False,
         timeseries: "bool | int | TimeSeriesConfig | None" = False,
+        inband: "bool | int | InbandConfig | None" = False,
     ) -> None:
         self.spec = spec
         #: pass a shared simulator to co-simulate several Autonets (for
@@ -94,6 +96,18 @@ class Network:
         self.profiler = EventLoopProfiler() if profile else None
         if profile:
             self.sim.profiler = self.profiler
+        #: opt-in in-band path telemetry (repro.obs.inband).  Pass
+        #: inband=True (defaults), an int (per-packet hop bound), or an
+        #: InbandConfig.  Off (the default) leaves sim.inband None: the
+        #: stamp sites pay one load + None test and packets carry no hop
+        #: stack.  The layer windows its SLO stats against the tracer.
+        self.inband_config = InbandConfig.coerce(inband)
+        self.inband: Optional[InbandTelemetry] = None
+        if self.inband_config is not None:
+            self.inband = InbandTelemetry(
+                self.sim, self.inband_config, tracer=self.tracer
+            )
+            self.sim.inband = self.inband
 
         self.switches: List[Switch] = []
         self.autopilots: List[Autopilot] = []
@@ -280,6 +294,23 @@ class Network:
 
         doc = self.timeseries_doc()
         write_timeseries(path, doc)
+        return doc
+
+    def inband_doc(self) -> Dict:
+        """The ``repro.obs.inband/1`` artifact of everything the in-band
+        layer recorded so far."""
+        if self.inband is None:
+            raise RuntimeError(
+                "in-band telemetry is off; build Network(inband=...)"
+            )
+        return self.inband.document(name=self.name or self.spec.name)
+
+    def export_inband(self, path: str) -> Dict:
+        """Validate and write the inband artifact; returns the doc."""
+        from repro.obs.inband import write_inband
+
+        doc = self.inband_doc()
+        write_inband(path, doc)
         return doc
 
     def telemetry(self) -> Dict:

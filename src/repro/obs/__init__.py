@@ -30,9 +30,14 @@ bench-trajectory needs of ROADMAP.md:
 * :mod:`repro.obs.regress` -- the bench-regression trajectory: per-bench
   history archives and the baseline comparator whose
   ``repro.obs.regress/1`` verdict CI gates on.
+* :mod:`repro.obs.inband` -- in-band path telemetry: enabled data packets
+  carry a bounded per-hop record stack (switch, ports, FIFO depth,
+  timestamp); the host side folds delivered stacks into per-flow path
+  records, link congestion tables, and delivery-SLO windows aligned to
+  reconfiguration epochs, exported as ``repro.obs.inband/1``.
 
 ``python -m repro.obs`` exposes ``export``, ``why``, ``profile``,
-``watch``, and ``regress``.
+``watch``, ``paths``, and ``regress``.
 """
 
 from repro.obs.export import (
@@ -42,6 +47,18 @@ from repro.obs.export import (
     validate_document,
     write_document,
 )
+from repro.obs.inband import (
+    INBAND_SCHEMA,
+    InbandConfig,
+    InbandSchemaError,
+    InbandTelemetry,
+    PathCollector,
+    SloTracker,
+    exact_quantile,
+    read_inband,
+    validate_inband,
+    write_inband,
+)
 from repro.obs.flight import (
     ComponentRing,
     FlightEvent,
@@ -50,6 +67,7 @@ from repro.obs.flight import (
 )
 from repro.obs.perfetto import (
     FLIGHT_SCHEMA,
+    path_trace_document,
     read_trace,
     trace_event_document,
     validate_trace,
@@ -106,10 +124,21 @@ __all__ = [
     "FlightRecorder",
     "render_chain",
     "FLIGHT_SCHEMA",
+    "path_trace_document",
     "read_trace",
     "trace_event_document",
     "validate_trace",
     "write_trace",
+    "INBAND_SCHEMA",
+    "InbandConfig",
+    "InbandSchemaError",
+    "InbandTelemetry",
+    "PathCollector",
+    "SloTracker",
+    "exact_quantile",
+    "read_inband",
+    "validate_inband",
+    "write_inband",
     "EventLoopProfiler",
     "TIMESERIES_SCHEMA",
     "SeriesData",

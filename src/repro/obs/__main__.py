@@ -21,6 +21,9 @@
     python -m repro.obs regress --current bench.json \
         --baseline benchmarks/results/baselines
 
+    # in-band path telemetry: per-flow paths, p50/p99, congested links
+    python -m repro.obs paths --topo torus-3x4 --cut 0-1
+
 Each scenario subcommand runs the same scenario: build the topology,
 converge, apply the requested link cuts, reconverge.  ``export`` writes
 a ``repro.obs.flight/1`` document loadable at https://ui.perfetto.dev;
@@ -42,7 +45,8 @@ from repro.constants import MS, SEC
 from repro.network import Network
 from repro.obs.export import bench_document, bench_result, write_document
 from repro.obs.flight import CAT_EPOCH, CAT_PORT, render_chain
-from repro.obs.perfetto import write_trace
+from repro.obs.inband import write_inband
+from repro.obs.perfetto import path_trace_document, write_trace
 from repro.obs.regress import (
     Tolerance,
     baseline_window,
@@ -84,6 +88,149 @@ def _run_scenario(
     if cuts and not net.run_until_converged(timeout_ns=60 * SEC):
         print("warning: post-cut reconfiguration did not converge", file=sys.stderr)
     return net
+
+
+def _free_port(net: Network, sw: int) -> int:
+    """The highest-numbered unconnected port on switch ``sw``."""
+    for p in sorted(net.switches[sw].ports, reverse=True):
+        if not net.switches[sw].ports[p].connected:
+            return p
+    raise SystemExit(f"no free port on sw{sw} to attach a host")
+
+
+def _attach_traffic(
+    net: Network,
+    period_ms: float,
+    data_bytes: int,
+):
+    """Two dual-direction hosts on opposite corners of the topology,
+    each with a periodic sender and a latency-counting sink."""
+    from repro.host.localnet import LocalNet
+    from repro.host.workload import PeriodicSender, Sink
+
+    count = len(net.switches)
+    spots = [0, count // 2 if count > 1 else 0]
+    hosts = []
+    for i, sw in enumerate(spots):
+        name = f"h{i}"
+        controller = net.add_host(name, [(sw, _free_port(net, sw))])
+        hosts.append((name, controller, LocalNet(net.drivers[name])))
+    for i, (_name, _controller, localnet) in enumerate(hosts):
+        Sink(localnet)
+        peer = hosts[1 - i][1]
+        PeriodicSender(
+            localnet, peer.uid, data_bytes, int(period_ms * MS)
+        )
+    return hosts
+
+
+def _fmt_ns(value) -> str:
+    if value is None:
+        return "-"
+    if value < 1_000:
+        return f"{value:.0f}ns"
+    if value < 1_000_000:
+        return f"{value / 1e3:.1f}us"
+    if value < 1_000_000_000:
+        return f"{value / 1e6:.1f}ms"
+    return f"{value / 1e9:.3f}s"
+
+
+def _fmt_path(path, max_hops: int = 6) -> str:
+    shown = [
+        f"{sw}:p{inp}>" + "/".join(f"p{o}" for o in outs)
+        for sw, inp, outs in path[:max_hops]
+    ]
+    if len(path) > max_hops:
+        shown.append(f"... +{len(path) - max_hops} hops")
+    return " | ".join(shown) if shown else "(no hops)"
+
+
+def _cmd_paths(args) -> int:
+    spec = resolve_topology(args.topo)
+    net = Network(spec, seed=args.seed, inband=True)
+    hosts = _attach_traffic(net, args.period, args.bytes)
+    if not net.run_until_converged(timeout_ns=60 * SEC):
+        print("warning: initial configuration did not converge", file=sys.stderr)
+    traffic_ns = int(args.duration * SEC)
+    net.run_for(traffic_ns)
+    cuts = args.cut or [(0, 1)]
+    for a, b in cuts:
+        net.cut_link(a, b)
+    if not net.run_until_converged(timeout_ns=60 * SEC):
+        print("warning: post-cut reconfiguration did not converge", file=sys.stderr)
+    net.run_for(traffic_ns)
+
+    doc = net.inband_doc()
+    uid_names = {ctrl.uid.value: name for name, ctrl, _ln in hosts}
+
+    def who(uid: int) -> str:
+        return uid_names.get(uid, f"{uid:012x}")
+
+    cut_list = " ".join(f"{a}-{b}" for a, b in cuts)
+    print(
+        f"in-band path telemetry on {args.topo} (seed {args.seed}, "
+        f"cut {cut_list})"
+    )
+    print(
+        f"  {doc['hops_recorded']} hop records on {doc['slo']['deliveries']} "
+        f"deliveries, {doc['hops_truncated']} truncated"
+    )
+    print()
+    print("flows:")
+    for flow in doc["flows"]:
+        print(
+            f"  {who(flow['src_uid'])} -> {who(flow['dest_uid'])}: "
+            f"{flow['deliveries']} delivered, "
+            f"p50 {_fmt_ns(flow['latency_p50_ns'])} "
+            f"p99 {_fmt_ns(flow['latency_p99_ns'])}, "
+            f"{flow['paths_seen']} path(s)"
+        )
+        print(f"    path: {_fmt_path(flow['path'])}")
+        for change in flow["changes"]:
+            epoch = change["epoch"]
+            print(
+                f"    change @ +{change['t_ns'] / 1e9:.3f}s"
+                f"{f' (epoch {epoch})' if epoch is not None else ''}: "
+                f"{_fmt_path(change['to'])}"
+            )
+    changes = sum(len(flow["changes"]) for flow in doc["flows"])
+    print(f"  {changes} path change(s) detected")
+    print()
+    print("top congested links (mean FIFO depth at forwarding):")
+    top = sorted(doc["links"], key=lambda e: (-e["mean_depth"], e["link"]))
+    for entry in top[: args.top]:
+        drops = f", {entry['drops']} queue drops" if entry["drops"] else ""
+        print(
+            f"  {entry['link']:<10} {entry['samples']:>6} samples  "
+            f"mean {entry['mean_depth']:.0f}B  max {entry['max_depth']:.0f}B"
+            f"{drops}"
+        )
+    print()
+    slo = doc["slo"]
+    print(
+        f"slo: {slo['deliveries']} delivered "
+        f"({slo['delivered_bytes']} data bytes), "
+        f"p50 {_fmt_ns(slo['p50_ns'])} p99 {_fmt_ns(slo['p99_ns'])}, "
+        f"drops {slo['drops'] or '{}'}"
+    )
+    for window in slo["windows"]:
+        if window["max_blackout_ns"] is None:
+            continue
+        print(
+            f"  epoch {window['epoch']} "
+            f"[+{window['start_ns'] / 1e9:.3f}s..+{window['end_ns'] / 1e9:.3f}s] "
+            f"blackout {_fmt_ns(window['max_blackout_ns'])}: "
+            f"{window['deliveries']} delivered, {window['drops']} dropped, "
+            f"goodput {window['goodput_bytes']}B"
+        )
+    if args.out:
+        write_inband(args.out, doc)
+        print(f"\nwrote {args.out}")
+    if args.trace:
+        write_trace(args.trace, path_trace_document(doc, name=f"paths {args.topo}"))
+        print(f"wrote {args.trace} -- load it at https://ui.perfetto.dev")
+    return 0
 
 
 def _table_load_chains(net: Network):
@@ -208,7 +355,11 @@ def _cmd_watch(args) -> int:
         spec,
         seed=args.seed,
         timeseries=TimeSeriesConfig(interval_ns=int(args.interval * MS)),
+        inband=args.inband,
     )
+    if args.inband:
+        # host traffic gives the congestion heat rows something to show
+        _attach_traffic(net, period_ms=5.0, data_bytes=512)
     # cuts land mid-run as scheduled sim events, so the dashboard shows
     # the blackout and the subsequent epoch happen
     for a, b in args.cut:
@@ -246,7 +397,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Flight-recorder tooling: trace export, causal "
         "queries, and the event-loop profiler.",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command")
 
     def add_scenario_args(p) -> None:
         p.add_argument(
@@ -323,7 +474,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", default=None, metavar="PATH",
         help="also write the recorded timeseries artifact",
     )
+    p_watch.add_argument(
+        "--inband", action="store_true",
+        help="attach host traffic with in-band telemetry and show "
+             "per-link congestion heat rows",
+    )
     p_watch.set_defaults(fn=_cmd_watch)
+
+    p_paths = sub.add_parser(
+        "paths", help="in-band path telemetry: flows, path changes, SLO"
+    )
+    add_scenario_args(p_paths)
+    p_paths.add_argument(
+        "--duration", type=float, default=1.0, metavar="SEC",
+        help="simulated seconds of traffic each side of the cut (default 1)",
+    )
+    p_paths.add_argument(
+        "--period", type=float, default=5.0, metavar="MS",
+        help="packet period per sender (default 5 ms)",
+    )
+    p_paths.add_argument(
+        "--bytes", type=int, default=512,
+        help="data bytes per packet (default 512)",
+    )
+    p_paths.add_argument(
+        "--top", type=int, default=8,
+        help="congested links to list (default 8)",
+    )
+    p_paths.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the repro.obs.inband/1 artifact here",
+    )
+    p_paths.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write hop records as a Perfetto flow-arrow trace here",
+    )
+    p_paths.set_defaults(fn=_cmd_paths)
 
     p_regress = sub.add_parser(
         "regress", help="gate a bench document against committed baselines"
@@ -359,6 +545,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_regress.set_defaults(fn=_cmd_regress)
 
     args = parser.parse_args(argv)
+    if getattr(args, "fn", None) is None:
+        # no subcommand: list what exists instead of a bare argparse error
+        parser.print_usage(sys.stderr)
+        print("subcommands:", file=sys.stderr)
+        helps = {
+            action.dest: action.help
+            for action in getattr(sub, "_choices_actions", [])
+        }
+        for name in sub.choices:
+            print(f"  {name:<8} {helps.get(name) or ''}", file=sys.stderr)
+        return 2
     return args.fn(args)
 
 

@@ -1,0 +1,630 @@
+"""In-band path telemetry: the data plane as its own sensor (§6.7, §4).
+
+Every instrument before this one watched the *control* plane; the
+paper's headline claim -- reconfiguration pauses are "brief" (§1, §6.7)
+-- is a claim about what *user traffic* experiences.  This module turns
+enabled data packets into probes, in the style of in-band network
+telemetry (MRI-style per-hop INT): each forwarding decision appends one
+bounded hop record to the packet
+
+    (sim time, switch, ingress port, egress ports, FIFO depth)
+
+where the FIFO depth comes from the mutation-free
+:meth:`~repro.net.fifo.ReceiveFifo.peek_level`, so stamping never
+perturbs the fluid model.  On delivery the host side folds the stack:
+
+* :class:`PathCollector` -- per-flow path records, a path-change log
+  that catches route flaps across reconfiguration epochs, and per-link
+  congestion reports (depth samples + queue drops);
+* :class:`SloTracker` -- delivery latency p50/p99 (exact, from bounded
+  retained samples), drops by cause, and goodput, *windowed against*
+  the :class:`~repro.obs.spans.ReconfigTracer` epoch spans -- "what did
+  that blackout cost in-flight traffic?" as one number.
+
+Discipline (mirrors the flight recorder and the sampler):
+
+* **Null fast path.**  ``Simulator.inband`` is ``None`` by default and
+  every stamp site in ``switch``/``linkunit``/``fifo``/``host`` is one
+  attribute load plus a ``None`` test (``RS305`` enforces this); a
+  packet's ``hops`` field stays ``None`` -- nothing is allocated -- and
+  runs are byte-identical with the module out of play.
+* **Observational purity.**  Hop records only *read* component state;
+  no stamp changes routing, rates, or event order.
+* **Bounded everything.**  Hop stacks, flow tables, change logs,
+  latency-sample rings, and the recent-stack ring are all capped, with
+  drop counters where eviction happens.
+
+The recorded state exports as a ``repro.obs.inband/1`` JSON artifact
+(structural validator included) that the ``paths`` CLI, the doctor's
+``path_report``, the watch dashboard's congestion rows, and the
+Perfetto flow-arrow export all consume.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+#: bump the suffix when the artifact layout changes incompatibly
+INBAND_SCHEMA = "repro.obs.inband/1"
+
+#: one hop of a packet's record stack, as carried on the packet:
+#: (t_ns, switch, in_port, out_ports, fifo_depth_bytes)
+HopRecord = Tuple[int, str, int, Tuple[int, ...], float]
+
+#: a path identity: the hop stack minus time and depth -- what "route"
+#: means for change detection
+PathKey = Tuple[Tuple[str, int, Tuple[int, ...]], ...]
+
+
+@dataclass
+class InbandConfig:
+    """Everything that determines the in-band layer, and nothing else."""
+
+    #: hop records carried per packet; further hops count as truncated
+    max_hops: int = 32
+    #: distinct (src uid, dest uid) flows tracked; more are counted, not kept
+    max_flows: int = 1024
+    #: path changes retained per flow (older ones evict, counted)
+    path_history: int = 16
+    #: delivery latency samples retained for exact quantiles (global ring)
+    latency_samples: int = 65536
+    #: latency samples retained per flow
+    flow_latency_samples: int = 4096
+    #: full hop stacks retained for the Perfetto flow-arrow export
+    recent_stacks: int = 128
+
+    @classmethod
+    def coerce(cls, value: "bool | int | InbandConfig | None"
+               ) -> "Optional[InbandConfig]":
+        """Normalize ``Network(inband=...)``: False/None -> off,
+        True -> defaults, int -> per-packet hop bound."""
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, int):
+            return cls(max_hops=value)
+        return value
+
+
+def path_of(hops: Optional[List[HopRecord]]) -> PathKey:
+    """The route identity of a hop stack: switch / ingress / egress per
+    hop, with the volatile fields (time, depth) stripped."""
+    if not hops:
+        return ()
+    return tuple((sw, in_port, tuple(outs)) for _t, sw, in_port, outs, _d in hops)
+
+
+def exact_quantile(values: List[float], q: float) -> Optional[float]:
+    """Nearest-rank quantile over the *retained* samples -- exact, not
+    bucket-interpolated like ``Histogram.quantile``."""
+    if not values:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile out of range: {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class FlowRecord:
+    """Everything retained about one (src uid, dest uid) flow."""
+
+    __slots__ = ("src_uid", "dest_uid", "deliveries", "bytes", "paths_seen",
+                 "current_path", "changes", "changes_dropped", "latencies")
+
+    def __init__(self, src_uid: int, dest_uid: int,
+                 config: InbandConfig) -> None:
+        self.src_uid = src_uid
+        self.dest_uid = dest_uid
+        self.deliveries = 0
+        self.bytes = 0
+        #: distinct route switches observed (1 = the flow never moved)
+        self.paths_seen = 0
+        self.current_path: Optional[PathKey] = None
+        #: (t_ns, epoch, old_path, new_path), newest-last, bounded
+        self.changes: Deque[Tuple[int, Optional[int], PathKey, PathKey]] = (
+            deque(maxlen=config.path_history)
+        )
+        self.changes_dropped = 0
+        self.latencies: Deque[int] = deque(maxlen=config.flow_latency_samples)
+
+
+class PathCollector:
+    """Folds delivered hop stacks into per-flow path records, the
+    path-change log, and per-link congestion reports."""
+
+    def __init__(self, config: InbandConfig) -> None:
+        self.config = config
+        self.flows: Dict[Tuple[int, int], FlowRecord] = {}
+        #: deliveries whose flow could not be tracked (table full)
+        self.dropped_flows = 0
+        #: deliveries without both uids (control-plane client frames)
+        self.unkeyed_deliveries = 0
+        #: "sw0.p3" -> [depth samples, depth sum, depth max, queue drops]
+        self.links: Dict[str, List[float]] = {}
+        #: newest delivered hop stacks, for the Perfetto export
+        self.recent: Deque[Dict[str, Any]] = deque(maxlen=config.recent_stacks)
+
+    # -- feeds ------------------------------------------------------------------
+
+    def note_hop(self, switch: str, in_port: int, depth: float) -> None:
+        """One forwarding decision's congestion sample (stamp-time feed,
+        so congestion is seen even for packets that never deliver)."""
+        entry = self.links.setdefault(f"{switch}.p{in_port}", [0.0, 0.0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += depth
+        if depth > entry[2]:
+            entry[2] = depth
+
+    def note_queue_drop(self, component: str) -> None:
+        """A receive FIFO overflowed: one queue-drop congestion report."""
+        entry = self.links.setdefault(component, [0.0, 0.0, 0.0, 0.0])
+        entry[3] += 1
+
+    def fold(self, packet, host: str, t_ns: int,
+             epoch: Optional[int]) -> None:
+        """A packet delivered: fold its hop stack into the flow table."""
+        hops = packet.hops
+        self.recent.append({
+            "packet_id": packet.packet_id,
+            "src_uid": None if packet.src_uid is None else packet.src_uid.value,
+            "dest_uid": None if packet.dest_uid is None else packet.dest_uid.value,
+            "host": host,
+            "created_ns": packet.created_at,
+            "delivered_ns": t_ns,
+            "hops": list(hops) if hops else [],
+        })
+        if packet.src_uid is None or packet.dest_uid is None:
+            self.unkeyed_deliveries += 1
+            return
+        key = (packet.src_uid.value, packet.dest_uid.value)
+        record = self.flows.get(key)
+        if record is None:
+            if len(self.flows) >= self.config.max_flows:
+                self.dropped_flows += 1
+                return
+            record = FlowRecord(key[0], key[1], self.config)
+            self.flows[key] = record
+        record.deliveries += 1
+        record.bytes += packet.data_bytes
+        if packet.created_at:
+            record.latencies.append(t_ns - packet.created_at)
+        path = path_of(hops)
+        if record.current_path is None:
+            record.current_path = path
+            record.paths_seen = 1
+        elif path != record.current_path:
+            if len(record.changes) == record.changes.maxlen:
+                record.changes_dropped += 1
+            record.changes.append((t_ns, epoch, record.current_path, path))
+            record.current_path = path
+            record.paths_seen += 1
+
+    # -- queries ----------------------------------------------------------------
+
+    def path_changes(self) -> List[Tuple[int, Optional[int],
+                                         Tuple[int, int], PathKey, PathKey]]:
+        """Every retained path change, time-ordered across flows."""
+        out = []
+        for key, record in self.flows.items():
+            for t_ns, epoch, old, new in record.changes:
+                out.append((t_ns, epoch, key, old, new))
+        return sorted(out)
+
+    def top_congested(self, limit: int = 8) -> List[Tuple[str, Dict[str, float]]]:
+        """Links ranked by mean FIFO depth at forwarding time."""
+        rows = []
+        for link, (samples, total, peak, drops) in self.links.items():
+            mean = total / samples if samples else 0.0
+            rows.append((link, {"samples": samples, "mean_depth": mean,
+                                "max_depth": peak, "drops": drops}))
+        rows.sort(key=lambda item: (-item[1]["mean_depth"], item[0]))
+        return rows[:limit]
+
+
+class SloTracker:
+    """Delivery-SLO accounting: exact latency quantiles, drops by cause,
+    and goodput, windowed against reconfiguration epoch spans."""
+
+    def __init__(self, config: InbandConfig) -> None:
+        self.config = config
+        self.deliveries = 0
+        self.delivered_bytes = 0
+        #: (t_ns, latency_ns or None, data bytes), newest-last, bounded
+        self.samples: Deque[Tuple[int, Optional[int], int]] = (
+            deque(maxlen=config.latency_samples)
+        )
+        self.samples_total = 0
+        self.drops: Dict[str, int] = {}
+        #: (t_ns, cause), bounded like the sample ring
+        self.drop_events: Deque[Tuple[int, str]] = (
+            deque(maxlen=config.latency_samples)
+        )
+
+    def delivery(self, t_ns: int, latency_ns: Optional[int],
+                 data_bytes: int) -> None:
+        self.deliveries += 1
+        self.delivered_bytes += data_bytes
+        self.samples.append((t_ns, latency_ns, data_bytes))
+        self.samples_total += 1
+
+    def drop(self, t_ns: int, cause: str) -> None:
+        self.drops[cause] = self.drops.get(cause, 0) + 1
+        self.drop_events.append((t_ns, cause))
+
+    @property
+    def samples_dropped(self) -> int:
+        return max(0, self.samples_total - len(self.samples))
+
+    def latencies(self) -> List[int]:
+        return [lat for _t, lat, _b in self.samples if lat is not None]
+
+    def quantiles(self) -> Tuple[Optional[float], Optional[float]]:
+        lats = [float(v) for v in self.latencies()]
+        return exact_quantile(lats, 0.5), exact_quantile(lats, 0.99)
+
+    def windows(self, tracer) -> List[Dict[str, Any]]:
+        """Per-epoch SLO windows: for each reconfiguration span, what the
+        retained samples say traffic experienced inside it."""
+        if tracer is None:
+            return []
+        out = []
+        for span in tracer.span_summary():
+            start = span["start_ns"]
+            end = span["end_ns"]
+            horizon = end if end is not None else float("inf")
+            lats: List[float] = []
+            in_deliveries = 0
+            in_bytes = 0
+            for t_ns, lat, data_bytes in self.samples:
+                if start <= t_ns <= horizon:
+                    in_deliveries += 1
+                    in_bytes += data_bytes
+                    if lat is not None:
+                        lats.append(float(lat))
+            in_drops = sum(
+                1 for t_ns, _cause in self.drop_events if start <= t_ns <= horizon
+            )
+            out.append({
+                "epoch": span["key"],
+                "start_ns": start,
+                "end_ns": end,
+                "max_blackout_ns": span.get("max_blackout_ns"),
+                "deliveries": in_deliveries,
+                "drops": in_drops,
+                "goodput_bytes": in_bytes,
+                "p50_ns": exact_quantile(lats, 0.5),
+                "p99_ns": exact_quantile(lats, 0.99),
+            })
+        return out
+
+
+class InbandTelemetry:
+    """The ``sim.inband`` object: hot-path stamp sink plus host-side
+    folding.  Attach with ``sim.inband = InbandTelemetry(sim, ...)`` (or
+    build the network with ``Network(inband=...)``, which does both).
+    Detached, every stamp site costs one attribute load + None test."""
+
+    def __init__(self, sim, config: Optional[InbandConfig] = None,
+                 tracer=None) -> None:
+        self.sim = sim
+        self.config = config or InbandConfig()
+        self.tracer = tracer
+        self.collector = PathCollector(self.config)
+        self.slo = SloTracker(self.config)
+        self.hops_recorded = 0
+        self.hops_truncated = 0
+        self._current_epoch: Optional[int] = None
+        if tracer is not None:
+            tracer.add_listener(self._span_event)
+
+    def _span_event(self, _t_ns: int, _component: str, _event: str,
+                    attrs: Dict[str, Any]) -> None:
+        epoch = attrs.get("epoch")
+        if epoch is not None and (
+            self._current_epoch is None or epoch > self._current_epoch
+        ):
+            self._current_epoch = epoch
+
+    # -- hot-path stamps (called behind the RS305 None-test guard) ---------------
+
+    def record_hop(self, packet, switch: str, in_port: int,
+                   out_ports: Tuple[int, ...], depth: float) -> None:
+        """One forwarding grant: append a hop record to the packet."""
+        from repro.net.packet import PacketType
+
+        if packet.ptype is not PacketType.CLIENT:
+            return
+        self.collector.note_hop(switch, in_port, depth)
+        hops = packet.hops
+        if hops is None:
+            hops = []
+            packet.hops = hops
+        if len(hops) >= self.config.max_hops:
+            self.hops_truncated += 1
+            return
+        hops.append((self.sim.now, switch, in_port, tuple(out_ports), depth))
+        self.hops_recorded += 1
+
+    def record_drop(self, packet, component: str, cause: str) -> None:
+        """A terminal, delivery-affecting drop (table discard, CRC,
+        misdirection, a full host receive buffer)."""
+        from repro.net.packet import PacketType
+
+        if packet is None or packet.ptype is not PacketType.CLIENT:
+            return
+        self.slo.drop(self.sim.now, cause)
+
+    def record_queue_drop(self, packet, fifo_name: str) -> None:
+        """A receive-FIFO overflow: a per-link congestion report.  The
+        corrupted victim still travels and is counted as a CRC drop on
+        delivery, so this feeds the link table, not the SLO drop total."""
+        component = fifo_name[:-5] if fifo_name.endswith(".fifo") else fifo_name
+        self.collector.note_queue_drop(component)
+
+    def record_delivery(self, packet, host: str) -> None:
+        """A client packet accepted by a host controller."""
+        from repro.net.packet import PacketType
+
+        if packet.ptype is not PacketType.CLIENT:
+            return
+        now = self.sim.now
+        latency = (now - packet.created_at) if packet.created_at else None
+        self.slo.delivery(now, latency, packet.data_bytes)
+        self.collector.fold(packet, host, now, self._current_epoch)
+
+    # -- export -----------------------------------------------------------------
+
+    def document(self, name: str = "") -> Dict[str, Any]:
+        """The ``repro.obs.inband/1`` artifact as a dict."""
+        flows = []
+        for (src, dest), record in sorted(self.collector.flows.items()):
+            lats = [float(v) for v in record.latencies]
+            flows.append({
+                "src_uid": src,
+                "dest_uid": dest,
+                "deliveries": record.deliveries,
+                "bytes": record.bytes,
+                "paths_seen": record.paths_seen,
+                "path": _jsonable_path(record.current_path or ()),
+                "changes": [
+                    {
+                        "t_ns": t_ns,
+                        "epoch": epoch,
+                        "from": _jsonable_path(old),
+                        "to": _jsonable_path(new),
+                    }
+                    for t_ns, epoch, old, new in record.changes
+                ],
+                "changes_dropped": record.changes_dropped,
+                "latency_samples": len(lats),
+                "latency_p50_ns": exact_quantile(lats, 0.5),
+                "latency_p99_ns": exact_quantile(lats, 0.99),
+            })
+        links = []
+        for link, (samples, total, peak, drops) in sorted(
+            self.collector.links.items()
+        ):
+            links.append({
+                "link": link,
+                "samples": int(samples),
+                "mean_depth": (total / samples) if samples else 0.0,
+                "max_depth": peak,
+                "drops": int(drops),
+            })
+        p50, p99 = self.slo.quantiles()
+        return {
+            "schema": INBAND_SCHEMA,
+            "name": name,
+            "max_hops": self.config.max_hops,
+            "hops_recorded": self.hops_recorded,
+            "hops_truncated": self.hops_truncated,
+            "unkeyed_deliveries": self.collector.unkeyed_deliveries,
+            "dropped_flows": self.collector.dropped_flows,
+            "flows": flows,
+            "links": links,
+            "slo": {
+                "deliveries": self.slo.deliveries,
+                "delivered_bytes": self.slo.delivered_bytes,
+                "p50_ns": p50,
+                "p99_ns": p99,
+                "samples_retained": len(self.slo.samples),
+                "samples_dropped": self.slo.samples_dropped,
+                "drops": dict(sorted(self.slo.drops.items())),
+                "windows": self.slo.windows(self.tracer),
+            },
+            "recent": [
+                {
+                    **stack,
+                    "hops": [
+                        [t, sw, in_port, list(outs), depth]
+                        for t, sw, in_port, outs, depth in stack["hops"]
+                    ],
+                }
+                for stack in self.collector.recent
+            ],
+        }
+
+
+def _jsonable_path(path: PathKey) -> List[List[Any]]:
+    return [[sw, in_port, list(outs)] for sw, in_port, outs in path]
+
+
+# -- the artifact ---------------------------------------------------------------------
+
+
+class InbandSchemaError(ValueError):
+    """Raised by :func:`validate_inband` on a malformed document."""
+
+
+def _fail(path: str, why: str) -> None:
+    raise InbandSchemaError(f"{path}: {why}")
+
+
+def _check_int(value: Any, path: str, minimum: int = 0) -> None:
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        _fail(path, f"expected int >= {minimum}")
+
+
+def _check_number_or_null(value: Any, path: str) -> None:
+    if value is not None and (
+        not isinstance(value, (int, float)) or isinstance(value, bool)
+    ):
+        _fail(path, "expected number or null")
+
+
+def _check_path(value: Any, path: str) -> None:
+    if not isinstance(value, list):
+        _fail(path, "expected array of hops")
+    for j, hop in enumerate(value):
+        if not (isinstance(hop, list) and len(hop) == 3):
+            _fail(f"{path}[{j}]", "expected [switch, in_port, out_ports]")
+        if not isinstance(hop[0], str) or not hop[0]:
+            _fail(f"{path}[{j}][0]", "expected non-empty switch name")
+        _check_int(hop[1], f"{path}[{j}][1]")
+        if not isinstance(hop[2], list) or not all(
+            isinstance(p, int) and not isinstance(p, bool) for p in hop[2]
+        ):
+            _fail(f"{path}[{j}][2]", "expected array of port ints")
+
+
+def validate_inband(doc: Any) -> Dict[str, Any]:
+    """Structurally validate an inband document; returns it on success."""
+    if not isinstance(doc, dict):
+        _fail("$", f"expected object, got {type(doc).__name__}")
+    if doc.get("schema") != INBAND_SCHEMA:
+        _fail("$.schema", f"expected {INBAND_SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("name"), str):
+        _fail("$.name", "expected string")
+    for field in ("max_hops", "hops_recorded", "hops_truncated",
+                  "unkeyed_deliveries", "dropped_flows"):
+        _check_int(doc.get(field), f"$.{field}")
+    if doc["max_hops"] <= 0:
+        _fail("$.max_hops", "expected positive int")
+    flows = doc.get("flows")
+    if not isinstance(flows, list):
+        _fail("$.flows", "expected array")
+    for i, flow in enumerate(flows):
+        path = f"$.flows[{i}]"
+        if not isinstance(flow, dict):
+            _fail(path, "expected object")
+        for field in ("src_uid", "dest_uid", "deliveries", "bytes",
+                      "paths_seen", "changes_dropped", "latency_samples"):
+            _check_int(flow.get(field), f"{path}.{field}")
+        _check_path(flow.get("path"), f"{path}.path")
+        _check_number_or_null(flow.get("latency_p50_ns"), f"{path}.latency_p50_ns")
+        _check_number_or_null(flow.get("latency_p99_ns"), f"{path}.latency_p99_ns")
+        changes = flow.get("changes")
+        if not isinstance(changes, list):
+            _fail(f"{path}.changes", "expected array")
+        for j, change in enumerate(changes):
+            cpath = f"{path}.changes[{j}]"
+            if not isinstance(change, dict):
+                _fail(cpath, "expected object")
+            _check_int(change.get("t_ns"), f"{cpath}.t_ns")
+            epoch = change.get("epoch")
+            if epoch is not None:
+                _check_int(epoch, f"{cpath}.epoch")
+            _check_path(change.get("from"), f"{cpath}.from")
+            _check_path(change.get("to"), f"{cpath}.to")
+    links = doc.get("links")
+    if not isinstance(links, list):
+        _fail("$.links", "expected array")
+    for i, link in enumerate(links):
+        path = f"$.links[{i}]"
+        if not isinstance(link, dict):
+            _fail(path, "expected object")
+        if not isinstance(link.get("link"), str) or not link["link"]:
+            _fail(f"{path}.link", "expected non-empty string")
+        _check_int(link.get("samples"), f"{path}.samples")
+        _check_int(link.get("drops"), f"{path}.drops")
+        for field in ("mean_depth", "max_depth"):
+            value = link.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                _fail(f"{path}.{field}", "expected number")
+    slo = doc.get("slo")
+    if not isinstance(slo, dict):
+        _fail("$.slo", "expected object")
+    for field in ("deliveries", "delivered_bytes", "samples_retained",
+                  "samples_dropped"):
+        _check_int(slo.get(field), f"$.slo.{field}")
+    _check_number_or_null(slo.get("p50_ns"), "$.slo.p50_ns")
+    _check_number_or_null(slo.get("p99_ns"), "$.slo.p99_ns")
+    drops = slo.get("drops")
+    if not isinstance(drops, dict):
+        _fail("$.slo.drops", "expected object")
+    for cause, count in drops.items():
+        if not isinstance(cause, str):
+            _fail("$.slo.drops", "expected string causes")
+        _check_int(count, f"$.slo.drops.{cause}")
+    windows = slo.get("windows")
+    if not isinstance(windows, list):
+        _fail("$.slo.windows", "expected array")
+    for i, window in enumerate(windows):
+        path = f"$.slo.windows[{i}]"
+        if not isinstance(window, dict):
+            _fail(path, "expected object")
+        _check_int(window.get("epoch"), f"{path}.epoch")
+        _check_int(window.get("start_ns"), f"{path}.start_ns")
+        end = window.get("end_ns")
+        if end is not None:
+            _check_int(end, f"{path}.end_ns")
+        for field in ("deliveries", "drops", "goodput_bytes"):
+            _check_int(window.get(field), f"{path}.{field}")
+        for field in ("max_blackout_ns", "p50_ns", "p99_ns"):
+            _check_number_or_null(window.get(field), f"{path}.{field}")
+    recent = doc.get("recent")
+    if not isinstance(recent, list):
+        _fail("$.recent", "expected array")
+    for i, stack in enumerate(recent):
+        path = f"$.recent[{i}]"
+        if not isinstance(stack, dict):
+            _fail(path, "expected object")
+        _check_int(stack.get("packet_id"), f"{path}.packet_id", minimum=1)
+        for field in ("src_uid", "dest_uid"):
+            value = stack.get(field)
+            if value is not None:
+                _check_int(value, f"{path}.{field}")
+        if not isinstance(stack.get("host"), str):
+            _fail(f"{path}.host", "expected string")
+        _check_int(stack.get("created_ns"), f"{path}.created_ns")
+        _check_int(stack.get("delivered_ns"), f"{path}.delivered_ns")
+        hops = stack.get("hops")
+        if not isinstance(hops, list):
+            _fail(f"{path}.hops", "expected array")
+        for j, hop in enumerate(hops):
+            hpath = f"{path}.hops[{j}]"
+            if not (isinstance(hop, list) and len(hop) == 5):
+                _fail(hpath, "expected [t_ns, switch, in_port, out_ports, depth]")
+            _check_int(hop[0], f"{hpath}[0]")
+            if not isinstance(hop[1], str) or not hop[1]:
+                _fail(f"{hpath}[1]", "expected non-empty switch name")
+            _check_int(hop[2], f"{hpath}[2]")
+            if not isinstance(hop[3], list):
+                _fail(f"{hpath}[3]", "expected array of port ints")
+            if not isinstance(hop[4], (int, float)) or isinstance(hop[4], bool):
+                _fail(f"{hpath}[4]", "expected number")
+    return doc
+
+
+def write_inband(path: str, doc: Dict[str, Any]) -> None:
+    """Validate and write an inband artifact as JSON."""
+    validate_inband(doc)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def read_inband(path: str) -> Dict[str, Any]:
+    """Load and validate an inband artifact from disk."""
+    with open(path) as fh:
+        return validate_inband(json.load(fh))

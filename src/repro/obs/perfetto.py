@@ -276,6 +276,130 @@ def trace_event_document(
     }
 
 
+#: category for in-band hop records in a path trace
+CAT_PATH = "path"
+
+
+def path_trace_document(
+    inband_doc: Dict[str, Any],
+    name: str = "autonet-paths",
+) -> Dict[str, Any]:
+    """Render a ``repro.obs.inband/1`` document's retained hop stacks as
+    flow arrows: one track per switch/host, one zero-width slice per hop,
+    and an ``s``/``t``/``f`` chain (id = packet id) threading each
+    packet's route from its first forwarding grant to its delivery.
+
+    The result reuses the ``repro.obs.flight/1`` envelope so it passes
+    :func:`validate_trace` and loads at https://ui.perfetto.dev.
+    """
+    stacks = [s for s in inband_doc.get("recent", []) if s.get("hops")]
+    components: List[str] = []
+    for stack in stacks:
+        for hop in stack["hops"]:
+            if hop[1] not in components:
+                components.append(hop[1])
+        if stack["host"] not in components:
+            components.append(stack["host"])
+    tids = {component: tid for tid, component in enumerate(components, start=1)}
+
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": PID,
+            "tid": 0,
+            "args": {"name": name},
+        }
+    ]
+    for component, tid in tids.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": PID,
+                "tid": tid,
+                "args": {"name": component},
+            }
+        )
+
+    for stack in stacks:
+        pkt = stack["packet_id"]
+        label = f"pkt#{pkt}"
+        hops = stack["hops"]
+        for index, (t_ns, switch, in_port, outs, depth) in enumerate(hops):
+            tid = tids[switch]
+            ts = _us(t_ns)
+            events.append(
+                {
+                    "ph": "X",
+                    "name": label,
+                    "cat": CAT_PATH,
+                    "ts": ts,
+                    "dur": 1,
+                    "pid": PID,
+                    "tid": tid,
+                    "args": {
+                        "hop": index,
+                        "in_port": in_port,
+                        "out_ports": ",".join(str(p) for p in outs),
+                        "fifo_depth_bytes": depth,
+                    },
+                }
+            )
+            events.append(
+                {
+                    "ph": "s" if index == 0 else "t",
+                    "name": label,
+                    "cat": CAT_PATH,
+                    "id": pkt,
+                    "ts": ts,
+                    "pid": PID,
+                    "tid": tid,
+                }
+            )
+        tid = tids[stack["host"]]
+        ts = _us(stack["delivered_ns"])
+        events.append(
+            {
+                "ph": "X",
+                "name": label,
+                "cat": CAT_PATH,
+                "ts": ts,
+                "dur": 1,
+                "pid": PID,
+                "tid": tid,
+                "args": {
+                    "latency_ns": stack["delivered_ns"] - stack["created_ns"],
+                    "hops": len(hops),
+                },
+            }
+        )
+        events.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "name": label,
+                "cat": CAT_PATH,
+                "id": pkt,
+                "ts": ts,
+                "pid": PID,
+                "tid": tid,
+            }
+        )
+
+    return {
+        "schema": FLIGHT_SCHEMA,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": inband_doc.get("schema"),
+            "name": inband_doc.get("name"),
+            "stacks": len(stacks),
+            "components": components,
+        },
+        "traceEvents": events,
+    }
+
+
 # -- the structural validator ---------------------------------------------------------
 
 #: phases this exporter emits; anything else is a validation error

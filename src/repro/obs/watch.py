@@ -104,12 +104,42 @@ def fmt_t(t_ns: int) -> str:
     return f"+{t_ns / 1e9:.3f}s"
 
 
+def congestion_rows(
+    inband_doc: Dict[str, Any],
+    width: int = 32,
+    top: int = 6,
+) -> List[str]:
+    """Per-link congestion heat rows from a ``repro.obs.inband/1`` doc:
+    the hottest links by mean FIFO depth at forwarding time, each with a
+    heat bar scaled against the hottest link in the document."""
+    links = sorted(
+        inband_doc.get("links", []),
+        key=lambda entry: (-entry["mean_depth"], entry["link"]),
+    )[:top]
+    if not links:
+        return []
+    hottest = max(entry["mean_depth"] for entry in links) or 1.0
+    label_w = max(len(entry["link"]) for entry in links)
+    rows = ["link congestion (in-band):"]
+    for entry in links:
+        filled = int(round(entry["mean_depth"] / hottest * width))
+        bar = SPARK_CHARS[-1] * filled + SPARK_CHARS[1] * (width - filled)
+        drops = f"  drops {int(entry['drops'])}" if entry["drops"] else ""
+        rows.append(
+            f"  {entry['link']:<{label_w}} |{bar}| "
+            f"mean {entry['mean_depth']:.0f}B max {entry['max_depth']:.0f}B"
+            f"{drops}"
+        )
+    return rows
+
+
 def render_frame(
     ts: TimeSeries,
     now_ns: Optional[int] = None,
     width: int = 32,
     mark_tail: int = 6,
     title: str = "",
+    inband_doc: Optional[Dict[str, Any]] = None,
 ) -> str:
     """One dashboard frame as plain text (no escapes, no I/O)."""
     ticks = ts.ticks
@@ -147,6 +177,12 @@ def render_frame(
             f"  good {int(good) if good is not None else 0:>2} |{good_bar}|"
             f"  fifo^ |{fifo_bar}|"
         )
+
+    if inband_doc is not None:
+        heat = congestion_rows(inband_doc, width=width)
+        if heat:
+            lines.append("")
+            lines.extend(heat)
 
     marks = ts.marks()
     if now_ns is not None:
@@ -195,10 +231,15 @@ def watch_live(
     slice_ns = max(net.sampler.config.interval_ns, int(duration_ns / 240) or 1)
     end = net.sim.now + duration_ns
     title = f"watch {net.spec.name}"
+    inband = getattr(net, "inband", None)
     while net.sim.now < end:
         net.sim.run(until=min(end, net.sim.now + slice_ns))
         frame = render_frame(
-            net.sampler.view(), now_ns=net.sim.now, width=width, title=title
+            net.sampler.view(),
+            now_ns=net.sim.now,
+            width=width,
+            title=title,
+            inband_doc=inband.document() if inband is not None else None,
         )
         out.write(ANSI_HOME_CLEAR + frame)
         out.flush()

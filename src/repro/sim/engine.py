@@ -85,6 +85,12 @@ class Simulator:
         #: event, so no dispatch-path code ever consults this attribute
         #: -- it exists so tools (doctor, watch) can find the sampler.
         self.sampler = None
+        #: optional in-band path telemetry (repro.obs.inband.
+        #: InbandTelemetry).  None (the default) is the fast path: every
+        #: stamp site in switch/linkunit/fifo/host is one attribute load
+        #: plus a None test, no hop records are allocated, and runs stay
+        #: byte-identical (RS305 enforces the pattern at call sites).
+        self.inband = None
 
     def enable_metrics(self) -> None:
         """Turn on telemetry and publish the engine's own series."""

@@ -26,6 +26,12 @@ keep call sites inside that contract:
   collector callback must not ``.append`` to anything -- collectors are
   pure reads sampled every tick; an appending callback is an unbounded
   buffer growing at the sampling rate.
+* **RS305** -- in-band telemetry stamps (``record_hop`` and friends on
+  ``sim.inband``) must follow the same one-load+None-test pattern as
+  RS303.  The stamp sites live on the per-packet hot path in
+  ``switch``/``linkunit``/``fifo``/``host``; a chained or unguarded call
+  silently regresses the disabled fast path (or crashes when the layer
+  is off).
 """
 
 from __future__ import annotations
@@ -59,6 +65,7 @@ IMPLEMENTATION_MODULES = frozenset({
     "repro.obs.flight",
     "repro.obs.spans",
     "repro.obs.timeseries",
+    "repro.obs.inband",
 })
 
 #: receivers that look like a time-series sampler
@@ -73,6 +80,23 @@ SAMPLER_CTORS = frozenset({"TimeSeriesConfig", "SeriesRing"})
 
 #: maximum labels per instrument call: more is a cardinality smell
 MAX_LABELS = 4
+
+#: attribute names holding the flight recorder (RS303)
+RECORDER_ATTRS = frozenset({"recorder", "flight"})
+
+#: methods RS303 audits on a recorder
+RECORDER_METHODS = frozenset({"record"})
+
+#: attribute names holding the in-band telemetry layer (RS305)
+INBAND_ATTRS = frozenset({"inband"})
+
+#: hot-path stamp methods RS305 audits on the in-band layer
+INBAND_METHODS = frozenset({
+    "record_hop",
+    "record_drop",
+    "record_queue_drop",
+    "record_delivery",
+})
 
 
 class ObsDisciplinePass(Pass):
@@ -107,6 +131,14 @@ class ObsDisciplinePass(Pass):
             hint="use a literal series name, a literal ring capacity, and a "
                  "read-only collector callback (no .append)",
         ),
+        Rule(
+            id="RS305",
+            title="in-band stamp bypasses the None-test pattern",
+            invariant="a disabled in-band layer costs one attribute load + None test",
+            paper="repro.obs.inband disabled fast path (§6.7 data-plane SLO)",
+            hint="load it once (ib = <owner>.inband), test 'if ib is not None', "
+                 "then stamp",
+        ),
     )
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:
@@ -118,7 +150,14 @@ class ObsDisciplinePass(Pass):
                 yield from self._check_sampler_call(module, node)
         for scope in function_scopes(module.tree):
             if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield from self._check_recorder_calls(module, scope)
+                yield from self._check_guarded_calls(
+                    module, scope, RECORDER_ATTRS, RECORDER_METHODS,
+                    "RS303", "recorder",
+                )
+                yield from self._check_guarded_calls(
+                    module, scope, INBAND_ATTRS, INBAND_METHODS,
+                    "RS305", "in-band layer",
+                )
 
     # -- RS301 / RS302 -----------------------------------------------------------------
 
@@ -226,36 +265,44 @@ class ObsDisciplinePass(Pass):
                         "without bound at the sampling rate",
                     )
 
-    # -- RS303 -------------------------------------------------------------------------
+    # -- RS303 / RS305 -----------------------------------------------------------------
 
-    def _check_recorder_calls(self, module: ParsedModule,
-                              func: ast.FunctionDef) -> Iterator[Finding]:
-        recorder_locals = self._recorder_locals(func)
-        yield from self._scan_recorder(module, func.body, recorder_locals, set())
+    def _check_guarded_calls(self, module: ParsedModule,
+                             func: ast.FunctionDef,
+                             attrs: frozenset, methods: frozenset,
+                             rule_id: str, noun: str) -> Iterator[Finding]:
+        instrument_locals = self._instrument_locals(func, attrs)
+        yield from self._scan_guarded(
+            module, func.body, instrument_locals, set(),
+            attrs, methods, rule_id, noun,
+        )
 
     @staticmethod
-    def _recorder_locals(func: ast.FunctionDef) -> Set[str]:
-        """Local names assigned from a ``*.recorder`` attribute chain."""
+    def _instrument_locals(func: ast.FunctionDef, attrs: frozenset) -> Set[str]:
+        """Local names assigned from one of ``attrs`` attribute chains."""
         names: Set[str] = set()
         for node in ast.walk(func):
             if isinstance(node, ast.Assign) and isinstance(node.value, ast.Attribute):
-                if node.value.attr in ("recorder", "flight"):
+                if node.value.attr in attrs:
                     for target in node.targets:
                         if isinstance(target, ast.Name):
                             names.add(target.id)
         return names
 
-    def _scan_recorder(self, module: ParsedModule, body: List[ast.stmt],
-                       recorder_locals: Set[str],
-                       guarded: Set[str]) -> Iterator[Finding]:
+    def _scan_guarded(self, module: ParsedModule, body: List[ast.stmt],
+                      instrument_locals: Set[str], guarded: Set[str],
+                      attrs: frozenset, methods: frozenset,
+                      rule_id: str, noun: str) -> Iterator[Finding]:
         guarded = set(guarded)
         for stmt in body:
             if isinstance(stmt, ast.If):
                 newly = self._names_guarded_by(stmt.test)
-                yield from self._scan_recorder(
-                    module, stmt.body, recorder_locals, guarded | newly)
-                yield from self._scan_recorder(
-                    module, stmt.orelse, recorder_locals, guarded)
+                yield from self._scan_guarded(
+                    module, stmt.body, instrument_locals, guarded | newly,
+                    attrs, methods, rule_id, noun)
+                yield from self._scan_guarded(
+                    module, stmt.orelse, instrument_locals, guarded,
+                    attrs, methods, rule_id, noun)
                 # 'if rec is None: return' guards the rest of this body
                 if stmt.body and isinstance(
                         stmt.body[-1], (ast.Return, ast.Continue, ast.Break, ast.Raise)):
@@ -265,41 +312,45 @@ class ObsDisciplinePass(Pass):
                 guarded |= self._names_guarded_by(stmt.test)
                 continue
             if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
-                yield from self._scan_recorder(
-                    module, stmt.body + stmt.orelse, recorder_locals, guarded)
+                yield from self._scan_guarded(
+                    module, stmt.body + stmt.orelse, instrument_locals, guarded,
+                    attrs, methods, rule_id, noun)
                 continue
             if isinstance(stmt, (ast.With, ast.AsyncWith)):
-                yield from self._scan_recorder(
-                    module, stmt.body, recorder_locals, guarded)
+                yield from self._scan_guarded(
+                    module, stmt.body, instrument_locals, guarded,
+                    attrs, methods, rule_id, noun)
                 continue
             if isinstance(stmt, ast.Try):
                 inner = stmt.body + stmt.orelse + stmt.finalbody
                 for handler in stmt.handlers:
                     inner = inner + handler.body
-                yield from self._scan_recorder(
-                    module, inner, recorder_locals, guarded)
+                yield from self._scan_guarded(
+                    module, inner, instrument_locals, guarded,
+                    attrs, methods, rule_id, noun)
                 continue
             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue  # handled as their own scope
             for node in ast.walk(stmt):
                 if not (isinstance(node, ast.Call)
                         and isinstance(node.func, ast.Attribute)
-                        and node.func.attr == "record"):
+                        and node.func.attr in methods):
                     continue
                 receiver = node.func.value
                 if (isinstance(receiver, ast.Attribute)
-                        and receiver.attr in ("recorder", "flight")):
+                        and receiver.attr in attrs):
                     yield self.finding(
-                        "RS303", module, node,
-                        "chained '<owner>.recorder.record(...)' re-loads the attribute "
-                        "and crashes when the recorder is detached",
+                        rule_id, module, node,
+                        f"chained '<owner>.{receiver.attr}.{node.func.attr}(...)' "
+                        f"re-loads the attribute and crashes when the {noun} "
+                        f"is detached",
                     )
                 elif (isinstance(receiver, ast.Name)
-                        and receiver.id in recorder_locals
+                        and receiver.id in instrument_locals
                         and receiver.id not in guarded):
                     yield self.finding(
-                        "RS303", module, node,
-                        f"recorder local {receiver.id!r} is used without an "
+                        rule_id, module, node,
+                        f"{noun} local {receiver.id!r} is used without an "
                         f"'is not None' guard",
                     )
 

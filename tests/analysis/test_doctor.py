@@ -71,12 +71,13 @@ def test_render_is_readable():
 
 
 def test_all_sections_render_end_to_end():
-    """ISSUE 5 satellite: every doctor section -- telemetry, flight,
-    staticcheck, campaign, and the new timeseries -- renders on a
-    torus-3x4 run without raising."""
+    """ISSUE 5/6 satellite: every doctor section -- telemetry, flight,
+    staticcheck, campaign, timeseries, and the new in-band path
+    telemetry -- renders on a torus-3x4 run without raising."""
     from repro.analysis.doctor import (
         campaign_report,
         flight_report,
+        path_report,
         staticcheck_report,
         telemetry_dashboard,
         timeseries_report,
@@ -85,7 +86,7 @@ def test_all_sections_render_end_to_end():
 
     net = Network(
         torus(3, 4), seed=0, telemetry=True, flight=True, profile=True,
-        timeseries=True,
+        timeseries=True, inband=True,
     )
     assert net.run_until_converged(timeout_ns=60 * SEC)
     net.cut_link(0, 1)
@@ -94,9 +95,16 @@ def test_all_sections_render_end_to_end():
     dashboard = telemetry_dashboard(net)
     assert "telemetry @" in dashboard
     assert "reconfiguration epoch" in dashboard
-    # the dashboard folds in the flight and timeseries sections when on
+    # the dashboard folds in the flight, timeseries, and path-telemetry
+    # sections when they are on
     assert "flight recorder:" in dashboard
     assert "timeseries:" in dashboard
+    assert "path telemetry:" in dashboard
+
+    paths = path_report(net)
+    assert "path telemetry:" in paths
+    # a network built without the layer degrades gracefully
+    assert "off (build Network" in path_report(Network(ring(3)))
 
     flight = flight_report(net)
     assert "events recorded" in flight

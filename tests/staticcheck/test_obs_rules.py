@@ -206,3 +206,72 @@ def test_rs304_implementation_module_exempt():
         module="repro.obs.timeseries", path="src/repro/obs/timeseries.py",
     )
     assert findings == []
+
+
+# -- RS305: in-band stamp disabled pattern --------------------------------------------
+
+
+def test_rs305_chained_inband_call_flagged():
+    findings = check(
+        "def forward(self, pkt, port):\n"
+        "    self.sim.inband.record_hop(pkt, self.name, port, (2,), 0.0)\n"
+    )
+    assert rules_of(findings) == ["RS305"]
+
+
+def test_rs305_unguarded_local_flagged():
+    findings = check(
+        "def forward(self, pkt, port):\n"
+        "    ib = self.sim.inband\n"
+        "    ib.record_hop(pkt, self.name, port, (2,), 0.0)\n"
+    )
+    assert rules_of(findings) == ["RS305"]
+
+
+def test_rs305_clean_guarded_local():
+    findings = check(
+        "def forward(self, pkt, port):\n"
+        "    ib = self.sim.inband\n"
+        "    if ib is not None:\n"
+        "        ib.record_hop(pkt, self.name, port, (2,), 0.0)\n"
+    )
+    assert findings == []
+
+
+def test_rs305_clean_early_return_guard():
+    findings = check(
+        "def deliver(self, pkt):\n"
+        "    ib = self.sim.inband\n"
+        "    if ib is None:\n"
+        "        return\n"
+        "    ib.record_delivery(pkt, self.name)\n"
+    )
+    assert findings == []
+
+
+def test_rs305_all_stamp_methods_audited():
+    for method in ("record_hop", "record_drop", "record_queue_drop",
+                   "record_delivery"):
+        findings = check(
+            "def site(self, pkt):\n"
+            f"    self.sim.inband.{method}(pkt)\n"
+        )
+        assert rules_of(findings) == ["RS305"], method
+
+
+def test_rs305_unrelated_methods_ignored():
+    # non-stamp methods (document(), quantiles()) are tool-time, not hot path
+    findings = check(
+        "def export(self):\n"
+        "    return self.sim.inband.document()\n"
+    )
+    assert findings == []
+
+
+def test_rs305_implementation_module_exempt():
+    findings = check_source(
+        "def record_hop(self, pkt):\n"
+        "    self.sim.inband.record_hop(pkt)\n",
+        module="repro.obs.inband", path="src/repro/obs/inband.py",
+    )
+    assert findings == []
