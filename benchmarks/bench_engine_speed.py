@@ -1,0 +1,79 @@
+"""Event-engine throughput: the calendar-queue scheduler's speed gate.
+
+Runs the standard observability scenario (converge, cut link 0-1,
+reconverge) on the two gated topologies with the event-loop profiler
+attached and reports dispatch throughput.  The committed baseline in
+``benchmarks/results/baselines/engine_speed.json`` plus the floor-only
+tolerance entries in ``tolerances.json`` turn this into the CI
+``perf-gate`` job: a drop in ``events_per_sec`` below the band fails the
+build, while an improvement sails through (re-commit the baseline to
+ratchet it).
+
+The absolute numbers are machine-dependent; the gate compares runs on
+the same class of CI runner against a baseline measured there.  Local
+runs are still useful for before/after ratios.
+"""
+
+import os
+import sys
+
+if __package__ in (None, ""):  # direct invocation
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    sys.path[:0] = [_ROOT, os.path.join(_ROOT, "src")]
+    import bench_util
+else:
+    from benchmarks import bench_util
+
+from repro.constants import SEC
+from repro.network import Network
+from repro.topology.generators import resolve_topology
+
+#: topologies the perf gate watches: the paper's own LAN and the dense
+#: torus the rest of CI profiles
+TOPOLOGIES = ("torus-3x4", "src-lan-30")
+
+
+def _measure(topo: str, seed: int):
+    """Converge, cut 0-1, reconverge under the event-loop profiler."""
+    net = Network(resolve_topology(topo), seed=seed, profile=True)
+    assert net.run_until_converged(timeout_ns=60 * SEC), f"{topo}: no converge"
+    net.cut_link(0, 1)
+    assert net.run_until_converged(timeout_ns=60 * SEC), f"{topo}: no reconverge"
+    profiler = net.profiler
+    return {
+        "events": profiler.events,
+        "wall_ms": profiler.run_wall_ns / 1e6,
+        "events_per_sec": profiler.events_per_sec(),
+    }
+
+
+def test_engine_speed(benchmark):
+    seed = bench_util.current_seed()
+    rows = []
+    telemetry = {}
+    for topo in TOPOLOGIES:
+        m = benchmark(_measure, topo, seed) if topo == TOPOLOGIES[0] else _measure(topo, seed)
+        rows.append([
+            topo,
+            m["events"],
+            round(m["wall_ms"], 1),
+            round(m["events_per_sec"], 1),
+        ])
+        telemetry[f"{topo}_events_per_sec"] = round(m["events_per_sec"], 1)
+        # dispatch throughput must be a real measurement, not a div-zero
+        assert m["events"] > 0 and m["events_per_sec"] > 0
+    bench_util.report(
+        "engine_speed",
+        "Event-engine dispatch throughput (calendar-queue scheduler)",
+        headers=["topology", "events", "wall_ms", "events_per_sec"],
+        rows=rows,
+        notes=(
+            "converge + cut 0-1 + reconverge under the event-loop profiler;\n"
+            "events_per_sec gates in CI (floor-only band, see baselines/)"
+        ),
+        telemetry=telemetry,
+    )
+
+
+if __name__ == "__main__":
+    bench_util.run_cli(globals())

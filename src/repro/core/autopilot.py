@@ -446,7 +446,9 @@ class Autopilot:
         self.switch.clear_table(reset_on_load=reset)
 
     def load_forwarding(self, entries: Dict, reset: bool = True) -> None:
-        self.switch.load_table(entries, reset_on_load=reset)
+        # entries come from build_forwarding_entries, whose addresses are
+        # in range by construction: take the C-speed load path
+        self.switch.load_table(entries, reset_on_load=reset, pretruncated=True)
 
     def run_task(self, fn: Callable[[], None], cost: int = 0) -> None:
         self.scheduler.run_soon(fn, cost=cost)

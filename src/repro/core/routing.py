@@ -16,7 +16,7 @@ continuations, and entries that would violate the rule discard the packet
 
 from __future__ import annotations
 
-from collections import deque
+from functools import lru_cache
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.constants import (
@@ -32,6 +32,212 @@ from repro.types import Uid, make_short_address
 
 #: phases of a legal route: UP may still climb; DOWN must descend
 UP, DOWN = 0, 1
+
+
+# Interned forwarding entries keyed by (ports, broadcast).  ForwardingEntry
+# is frozen, so sharing one instance across tables is safe; the cache stays
+# small because real port vectors are short and heavily repeated (every
+# switch's table reuses the same handful of vectors).  Pure value cache:
+# hits and misses return equal objects, so determinism is unaffected --
+# which is also why lru_cache (and not a module dict, see RS402) is the
+# right shape for it.
+@lru_cache(maxsize=None)
+def _entry(ports: Tuple[int, ...], broadcast: bool = False) -> ForwardingEntry:
+    if broadcast and not ports:
+        # the shared discard singleton doubles as its own interned value
+        return DISCARD_ENTRY
+    return ForwardingEntry(ports, broadcast)
+
+
+def _topology_key(topology: TopologyMap) -> tuple:
+    """Value fingerprint of everything route computation reads.
+
+    Switch numbers and host ports are deliberately excluded: distances and
+    link orientation depend only on the tree (levels, parents) and the
+    link set, and :func:`build_forwarding_entries` reads numbers and host
+    ports directly from the live topology on every call.
+    """
+    # plain-int tuples: sorting and equality run at C speed instead of
+    # through the Uid dataclass dunders (this key is recomputed on every
+    # build_forwarding_entries call to validate the cache)
+    return (
+        topology.root,
+        tuple(
+            sorted(
+                (
+                    uid.value,
+                    rec.level,
+                    -1 if rec.parent_port is None else rec.parent_port,
+                    -1 if rec.parent_uid is None else rec.parent_uid.value,
+                )
+                for uid, rec in topology.switches.items()
+            )
+        ),
+        tuple(
+            sorted(
+                (link.a.uid.value, link.a.port, link.b.uid.value, link.b.port)
+                for link in topology.links
+            )
+        ),
+    )
+
+
+class _TopologyRoutes:
+    """Memoized routing structures shared by every switch of one epoch.
+
+    The root distributes *one* ``TopologyMap`` object down the tree (the
+    simulated network carries payloads by reference), so all switches of an
+    epoch compute their tables from the same instance.  Caching the
+    layered-graph predecessors and per-destination distance vectors on that
+    instance turns the per-epoch route computation from
+    O(switches^2 x links) into O(switches x links): the breadth-first
+    sweeps run once per destination instead of once per (switch,
+    destination) pair.  The cache is keyed by a content fingerprint, so a
+    mutated or merely equal-but-distinct map recomputes correctly.
+    """
+
+    __slots__ = (
+        "key",
+        "nbrs",
+        "up_end",
+        "children",
+        "index",
+        "_n",
+        "_preds",
+        "_dist",
+    )
+
+    def __init__(self, topology: TopologyMap, key: tuple) -> None:
+        self.key = key
+        #: uid -> {port: far PortRef} for every switch, built in one pass
+        self.nbrs: Dict[Uid, Dict[int, PortRef]] = {
+            uid: {} for uid in topology.switches
+        }
+        #: (uid, port) -> True when that endpoint is the link's up end
+        self.up_end: Dict[Tuple[Uid, int], bool] = {}
+        levels = {uid: rec.level for uid, rec in topology.switches.items()}
+        links: List[NetLink] = []
+        for link in topology.links:
+            if link.is_loop:
+                continue
+            a, b = link.a, link.b
+            if a.uid not in levels or b.uid not in levels:
+                continue
+            links.append(link)
+            self.nbrs[a.uid][a.port] = b
+            self.nbrs[b.uid][b.port] = a
+            level_a, level_b = levels[a.uid], levels[b.uid]
+            if level_a != level_b:
+                a_up = level_a < level_b
+            else:
+                a_up = a.uid < b.uid
+            self.up_end[(a.uid, a.port)] = a_up
+            self.up_end[(b.uid, b.port)] = not a_up
+
+        #: uid -> sorted child ports (the down ends of tree links)
+        self.children: Dict[Uid, List[int]] = {
+            uid: [] for uid in topology.switches
+        }
+        ends: Dict[Tuple[Uid, int], PortRef] = {}
+        for link in links:
+            ends[(link.a.uid, link.a.port)] = link.b
+            ends[(link.b.uid, link.b.port)] = link.a
+        for uid, rec in topology.switches.items():
+            if rec.parent_uid is None or rec.parent_port is None:
+                continue
+            parent_end = ends.get((uid, rec.parent_port))
+            if parent_end is not None and parent_end.uid == rec.parent_uid:
+                self.children[rec.parent_uid].append(parent_end.port)
+        for ports in self.children.values():
+            ports.sort()
+
+        # layered-graph reverse adjacency over states (uid index)*2 + phase
+        self.index: Dict[Uid, int] = {
+            uid: i for i, uid in enumerate(topology.switches)
+        }
+        self._n = 2 * len(self.index)
+        preds: List[List[int]] = [[] for _ in range(self._n)]
+        index = self.index
+        for link in links:
+            a, b = link.a, link.b
+            if self.up_end[(a.uid, a.port)]:
+                uu, dd = index[a.uid] * 2, index[b.uid] * 2
+            else:
+                uu, dd = index[b.uid] * 2, index[a.uid] * 2
+            # forward: (dd, UP) --up--> (uu, UP)
+            preds[uu].append(dd)
+            # forward: (uu, UP/DOWN) --down--> (dd, DOWN)
+            preds[dd + 1].append(uu)
+            preds[dd + 1].append(uu + 1)
+        self._preds = preds
+        #: dest uid -> state-indexed hop counts (-1 = unreachable)
+        self._dist: Dict[Uid, List[int]] = {}
+
+    def dist_to(self, dest: Uid) -> List[int]:
+        dist = self._dist.get(dest)
+        if dist is None:
+            dist = self._dist[dest] = self._bfs(dest)
+        return dist
+
+    def _bfs(self, dest: Uid) -> List[int]:
+        preds = self._preds
+        dist = [-1] * self._n
+        base = self.index[dest] * 2
+        dist[base] = 0
+        dist[base + 1] = 0
+        frontier = [base, base + 1]
+        hops = 0
+        while frontier:
+            hops += 1
+            nxt: List[int] = []
+            for state in frontier:
+                for pred in preds[state]:
+                    if dist[pred] < 0:
+                        dist[pred] = hops
+                        nxt.append(pred)
+            frontier = nxt
+        return dist
+
+    def next_hops(
+        self, uid: Uid, dest: Uid
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """(UP-phase ports, DOWN-phase ports) on minimum legal routes."""
+        dist = self.dist_to(dest)
+        index = self.index
+        base = index[uid] * 2
+        here_up, here_down = dist[base], dist[base + 1]
+        up_ports: List[int] = []
+        down_ports: List[int] = []
+        up_end = self.up_end
+        for port, far in self.nbrs[uid].items():
+            going_up = up_end[(far.uid, far.port)]
+            far_state = index[far.uid] * 2 + (0 if going_up else 1)
+            there = dist[far_state]
+            if there < 0:
+                continue
+            if there + 1 == here_up:
+                up_ports.append(port)
+            if not going_up and there + 1 == here_down:
+                down_ports.append(port)
+        up_ports.sort()
+        down_ports.sort()
+        return tuple(up_ports), tuple(down_ports)
+
+
+def _routes_for(topology: TopologyMap) -> _TopologyRoutes:
+    """The memoized route structures for ``topology``, building on miss.
+
+    Stored on the instance (not a module global) so the cache's lifetime
+    is the topology's own; the content fingerprint guards against
+    in-place mutation between calls.
+    """
+    key = _topology_key(topology)
+    cached = getattr(topology, "_routes_cache", None)
+    if cached is not None and cached.key == key:
+        return cached
+    routes = _TopologyRoutes(topology, key)
+    setattr(topology, "_routes_cache", routes)
+    return routes
 
 
 def link_direction(topology: TopologyMap, link: NetLink) -> PortRef:
@@ -50,35 +256,14 @@ def legal_distances(topology: TopologyMap, dest: Uid) -> Dict[Tuple[Uid, int], f
     ``dist[(s, DOWN)]`` assumes it has already descended.  Unreachable
     states get ``inf``.
     """
-    dist: Dict[Tuple[Uid, int], float] = {
-        (uid, phase): float("inf")
-        for uid in topology.switches
-        for phase in (UP, DOWN)
-    }
-    dist[(dest, UP)] = 0.0
-    dist[(dest, DOWN)] = 0.0
-
-    # reverse adjacency over the layered graph
-    preds: Dict[Tuple[Uid, int], List[Tuple[Uid, int]]] = {key: [] for key in dist}
-    for link in topology.links:
-        if link.is_loop:
-            continue
-        up_end = link_direction(topology, link)
-        down_end = link.other_end(up_end.uid)
-        uu, dd = up_end.uid, down_end.uid
-        # forward: (dd, UP) --up--> (uu, UP)
-        preds[(uu, UP)].append((dd, UP))
-        # forward: (uu, UP) --down--> (dd, DOWN); (uu, DOWN) --down--> (dd, DOWN)
-        preds[(dd, DOWN)].append((uu, UP))
-        preds[(dd, DOWN)].append((uu, DOWN))
-
-    frontier = deque([(dest, UP), (dest, DOWN)])
-    while frontier:
-        state = frontier.popleft()
-        for pred in preds[state]:
-            if dist[pred] == float("inf"):
-                dist[pred] = dist[state] + 1
-                frontier.append(pred)
+    routes = _routes_for(topology)
+    hops = routes.dist_to(dest)
+    inf = float("inf")
+    dist: Dict[Tuple[Uid, int], float] = {}
+    for uid, idx in routes.index.items():
+        up, down = hops[idx * 2], hops[idx * 2 + 1]
+        dist[(uid, UP)] = float(up) if up >= 0 else inf
+        dist[(uid, DOWN)] = float(down) if down >= 0 else inf
     return dist
 
 
@@ -139,11 +324,18 @@ def build_forwarding_entries(
     me = topology.switches[my_uid]
     host_ports = set(my_host_ports if my_host_ports is not None else me.host_ports)
     in_ports = list(range(0, n_ports + 1))
+    routes = _routes_for(topology)
 
     entries: Dict[Tuple[int, int], ForwardingEntry] = {}
 
     # -- unicast entries to every switch's addresses ---------------------------------
-    phases = {i: arrival_phase(topology, my_uid, i) for i in in_ports}
+    # arrival phase per receiving port: UP unless the packet descended to
+    # get here (we are the link's down end).  Host/CP arrivals are UP.
+    up_end = routes.up_end
+    nbr_ports = routes.nbrs[my_uid]
+    arrives_up = [
+        i not in nbr_ports or up_end[(my_uid, i)] for i in in_ports
+    ]
     for dest_uid, record in topology.switches.items():
         number = topology.numbers.get(dest_uid)
         if number is None:
@@ -152,29 +344,31 @@ def build_forwarding_entries(
             for q in range(0, n_ports + 1):
                 address = make_short_address(number, q)
                 if q == CONTROL_PROCESSOR_PORT:
-                    entry = ForwardingEntry((CONTROL_PROCESSOR_PORT,))
+                    entry = _entry((CONTROL_PROCESSOR_PORT,))
                 elif q in host_ports:
-                    entry = ForwardingEntry((q,))
+                    entry = _entry((q,))
                 else:
                     entry = DISCARD_ENTRY
                 for i in in_ports:
                     entries[(i, address)] = entry
             continue
-        dist = legal_distances(topology, dest_uid)
-        per_phase = {
-            phase: next_hop_ports(topology, my_uid, phase, dest_uid, dist)
-            for phase in (UP, DOWN)
-        }
+        ports_up, ports_down = routes.next_hops(my_uid, dest_uid)
+        entry_up = _entry(ports_up) if ports_up else DISCARD_ENTRY
+        entry_down = _entry(ports_down) if ports_down else DISCARD_ENTRY
+        # one validated address per destination; the per-port addresses
+        # base..base+n_ports are contiguous (port bits are the low bits)
+        base = make_short_address(number, 0)
+        row = [
+            (i, entry_up if is_up else entry_down)
+            for i, is_up in zip(in_ports, arrives_up)
+        ]
         for q in range(0, n_ports + 1):
-            address = make_short_address(number, q)
-            for i in in_ports:
-                ports = per_phase[phases[i]]
-                entries[(i, address)] = (
-                    ForwardingEntry(ports) if ports else DISCARD_ENTRY
-                )
+            address = base + q
+            for i, entry in row:
+                entries[(i, address)] = entry
 
     # -- broadcast flood entries (section 6.6.6) ---------------------------------------
-    children = topology.children_ports(my_uid)
+    children = routes.children[my_uid]
     is_root = topology.root == my_uid
     parent_port = me.parent_port
 
@@ -188,13 +382,13 @@ def build_forwarding_entries(
 
     up_sources = {CONTROL_PROCESSOR_PORT} | host_ports | set(children)
     for address in (ADDR_BROADCAST_ALL, ADDR_BROADCAST_SWITCHES, ADDR_BROADCAST_HOSTS):
-        down = ForwardingEntry(flood_set(address), broadcast=True)
+        down = _entry(flood_set(address), broadcast=True)
         for i in in_ports:
             if i in up_sources:
                 if is_root:
                     entries[(i, address)] = down
                 else:
-                    entries[(i, address)] = ForwardingEntry(
+                    entries[(i, address)] = _entry(
                         (parent_port,), broadcast=True
                     )
             elif i == parent_port:

@@ -16,7 +16,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 from repro.types import Uid
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class PortRef:
     """A specific port on a specific switch."""
 
@@ -27,7 +27,7 @@ class PortRef:
         return f"{self.uid}:{self.port}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NetLink:
     """One operational switch-to-switch link, direction-free.
 
@@ -63,7 +63,7 @@ class NetLink:
         return self.a.uid == self.b.uid
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SwitchRecord:
     """One switch's contribution to the topology report."""
 

@@ -73,11 +73,13 @@ class DiscardSink(DrainTarget):
 class FifoPacket:
     """Book-keeping for one packet resident in (or flowing through) a FIFO."""
 
-    __slots__ = ("packet", "bytes_in", "bytes_out", "arriving", "requested",
-                 "targets", "broadcast", "drain_started")
+    __slots__ = ("packet", "size", "bytes_in", "bytes_out", "arriving",
+                 "requested", "targets", "broadcast", "drain_started")
 
     def __init__(self, packet: Packet, arriving: bool = True) -> None:
         self.packet = packet
+        #: wire size, latched once -- the dynamics read it constantly
+        self.size: int = packet.wire_bytes
         self.bytes_in: float = 0.0
         self.bytes_out: float = 0.0
         self.arriving = arriving
@@ -87,10 +89,6 @@ class FifoPacket:
         self.targets: Optional[Sequence[DrainTarget]] = None
         self.broadcast = False
         self.drain_started = False
-
-    @property
-    def size(self) -> int:
-        return self.packet.wire_bytes
 
     @property
     def available(self) -> float:
@@ -180,7 +178,12 @@ class ReceiveFifo:
         return max(0.0, level)
 
     def _level(self) -> float:
-        return sum(entry.bytes_in - entry.bytes_out for entry in self.queue)
+        # same accumulation order as sum() over the queue, without the
+        # generator machinery (the queue is almost always 0 or 1 deep)
+        total = 0
+        for entry in self.queue:
+            total += entry.bytes_in - entry.bytes_out
+        return total
 
     @property
     def head(self) -> Optional[FifoPacket]:
@@ -252,10 +255,11 @@ class ReceiveFifo:
         if dt <= 0:
             return
         slots = dt / BYTE_TIME_NS
-        entry = self._arriving_entry()
+        queue = self.queue
+        entry = queue[-1] if queue and queue[-1].arriving else None
         if entry is not None and self.in_rate > 0:
             entry.bytes_in = min(float(entry.size), entry.bytes_in + self.in_rate * slots)
-        head = self.head
+        head = queue[0] if queue else None
         if head is not None and self.drain_rate > 0:
             moved = min(self.drain_rate * slots, head.bytes_in - head.bytes_out)
             head.bytes_out += moved
@@ -276,23 +280,27 @@ class ReceiveFifo:
                 self.on_overflow(victim.packet if victim else None)
 
     def _effective_in_rate(self) -> float:
-        return self.in_rate if self._arriving_entry() is not None else 0.0
+        queue = self.queue
+        return self.in_rate if queue and queue[-1].arriving else 0.0
 
     def _desired_drain_rate(self) -> float:
-        head = self.head
+        queue = self.queue
+        head = queue[0] if queue else None
         if head is None or head.targets is None:
             return 0.0
         if not head.drain_started:
             threshold = min(self.cut_through_bytes, head.size)
             if head.bytes_in + _EPS < threshold:
                 return 0.0
-        if not all(t.drain_allowed(head.broadcast) for t in head.targets):
-            return 0.0
-        if head.available > _EPS:
+        broadcast = head.broadcast
+        for t in head.targets:
+            if not t.drain_allowed(broadcast):
+                return 0.0
+        if head.bytes_in - head.bytes_out > _EPS:
             return 1.0
-        if head.arriving or (self.queue and self.queue[-1] is head and self.in_rate > 0):
+        if head.arriving or (queue and queue[-1] is head and self.in_rate > 0):
             # pass-through: forward at the arrival rate
-            rate = self.in_rate if head is self._arriving_entry() else 0.0
+            rate = self.in_rate if head.arriving and queue[-1] is head else 0.0
             if rate <= 0 and head.drain_started and head.bytes_out + _EPS < head.size:
                 if self.on_underflow is not None:
                     self.on_underflow(head.packet)
@@ -300,7 +308,8 @@ class ReceiveFifo:
         return 0.0
 
     def _recompute(self) -> None:
-        head = self.head
+        queue = self.queue
+        head = queue[0] if queue else None
 
         # head routing request: first two address bytes present
         if head is not None and not head.requested and head.bytes_in + _EPS >= 2:
@@ -339,6 +348,10 @@ class ReceiveFifo:
 
         self._program_boundary(level, net)
 
+    # _recompute is entered 80k+ times on the src-lan profile scenario;
+    # everything below stays expression-for-expression identical to keep
+    # the float trajectories (and hence packet timing) byte-identical.
+
     def _set_level_stop(self, stop: bool) -> None:
         if stop == self._level_stop:
             return
@@ -359,29 +372,29 @@ class ReceiveFifo:
 
     def _program_boundary(self, level: float, net: float) -> None:
         """Schedule the earliest future event that changes the dynamics."""
-        if self._boundary is not None:
-            self._boundary.cancel()
-            self._boundary = None
-
         candidates: List[float] = []
-        head = self.head
-        in_rate = self._effective_in_rate()
+        queue = self.queue
+        head = queue[0] if queue else None
+        arriving = queue[-1] if queue and queue[-1].arriving else None
+        in_rate = self.in_rate if arriving is not None else 0.0
 
         if head is not None:
-            if not head.requested and in_rate > 0 and head is self._arriving_entry():
+            if not head.requested and in_rate > 0 and head is arriving:
                 candidates.append((2.0 - head.bytes_in) / in_rate)
             if head.targets is not None and not head.drain_started and in_rate > 0 \
-                    and head is self._arriving_entry():
+                    and head is arriving:
                 threshold = min(self.cut_through_bytes, head.size)
                 candidates.append((threshold - head.bytes_in) / in_rate)
-            if self.drain_rate > 0:
+            drain_rate = self.drain_rate
+            if drain_rate > 0:
                 # completion of the head packet
-                candidates.append((head.size - head.bytes_out) / self.drain_rate)
+                candidates.append((head.size - head.bytes_out) / drain_rate)
                 # drain catches up with arrival (stall / pass-through switch)
-                if head is self._arriving_entry() and self.drain_rate > in_rate:
-                    candidates.append(head.available / (self.drain_rate - in_rate))
-                elif not head.arriving and head.available < head.size - head.bytes_out:
-                    candidates.append(head.available / self.drain_rate)
+                available = head.bytes_in - head.bytes_out
+                if head is arriving and drain_rate > in_rate:
+                    candidates.append(available / (drain_rate - in_rate))
+                elif not head.arriving and available < head.size - head.bytes_out:
+                    candidates.append(available / drain_rate)
 
         # aim half a byte past the watermark so the crossing is strict
         # (landing exactly on it would reschedule a zero-length step)
@@ -394,9 +407,20 @@ class ReceiveFifo:
             candidates.append((self.capacity - level) / net + 0.5)
 
         future = [c for c in candidates if c > _EPS]
+        boundary = self._boundary
         if not future:
+            if boundary is not None:
+                boundary.cancel()
+                self._boundary = None
             return
         delay_ns = max(1, int(round(min(future) * BYTE_TIME_NS)))
+        if boundary is not None:
+            # reprogramming to the same instant: keep the armed event.
+            # The handler (advance + recompute) is idempotent at an
+            # instant, so its position among same-time events is free.
+            if boundary.time == self.sim.now + delay_ns:
+                return
+            boundary.cancel()
         self._boundary = self.sim.after(delay_ns, self._on_boundary)
 
     def _on_boundary(self) -> None:

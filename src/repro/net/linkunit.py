@@ -22,7 +22,7 @@ from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class StatusSample:
     """One read of a link unit's status bits (section 6.5.2).
 

@@ -38,7 +38,7 @@ class PacketType(Enum):
     DIAGNOSTIC = 5
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One packet on the wire.
 

@@ -310,16 +310,19 @@ class Switch:
         self,
         entries: Dict[Tuple[int, int], ForwardingEntry],
         reset_on_load: bool = True,
+        *,
+        pretruncated: bool = False,
     ) -> None:
         """Load a computed configuration.
 
         The prototype hardware couples loading with a switch reset that
         destroys all packets in the switch (section 7); pass
         ``reset_on_load=False`` to model the proposed improvement.
+        ``pretruncated`` is forwarded to :meth:`ForwardingTable.load`.
         """
         if reset_on_load:
             self.reset()
-        self.table.load(entries)
+        self.table.load(entries, pretruncated=pretruncated)
         rec = self.sim.recorder
         if rec is not None:
             rec.record(

@@ -48,6 +48,10 @@ class EventLoopProfiler:
 
     def __init__(self) -> None:
         self._stats: Dict[str, HandlerStats] = {}
+        #: callable -> HandlerStats memo so the dispatch loop resolves a
+        #: handler's category once (``__qualname__`` extraction on a bound
+        #: method is far more expensive than an identity dict hit)
+        self._by_func: Dict[Any, HandlerStats] = {}
         #: events dispatched while attached
         self.events = 0
         #: wall time spent inside handlers
@@ -70,6 +74,27 @@ class EventLoopProfiler:
         stats = self._stats.get(category)
         if stats is None:
             stats = self._stats[category] = HandlerStats(category)
+        stats.count += 1
+        stats.wall_ns += wall_ns
+        self.events += 1
+        self.handler_wall_ns += wall_ns
+
+    def account_call(self, fn: Any, wall_ns: int) -> None:
+        """Account one dispatched handler by its callable (the hot path).
+
+        Categories are identical to :meth:`account` with the handler's
+        ``__qualname__`` -- bound methods of the same function share one
+        entry via ``__func__`` -- but the string work happens once per
+        callable, not once per event.
+        """
+        key = getattr(fn, "__func__", fn)
+        stats = self._by_func.get(key)
+        if stats is None:
+            category = getattr(fn, "__qualname__", None) or str(fn)
+            stats = self._stats.get(category)
+            if stats is None:
+                stats = self._stats[category] = HandlerStats(category)
+            self._by_func[key] = stats
         stats.count += 1
         stats.wall_ns += wall_ns
         self.events += 1

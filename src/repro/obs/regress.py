@@ -166,6 +166,13 @@ def _numeric(cell: Any) -> Optional[float]:
 # -- tolerance bands -------------------------------------------------------------------
 
 
+#: which band edges fail the gate.  ``both`` (the default) fails on any
+#: departure; ``floor`` fails only below the band (throughput metrics,
+#: where an improvement past the band is welcome, not suspicious);
+#: ``ceiling`` fails only above it (latency / wall-time metrics).
+DIRECTIONS = ("both", "floor", "ceiling")
+
+
 @dataclass
 class Tolerance:
     """Band half-width around the baseline mean:
@@ -176,6 +183,8 @@ class Tolerance:
     sigma: float = 4.0
     #: fnmatch pattern -> relative tolerance override (per-metric bands)
     overrides: Dict[str, float] = field(default_factory=dict)
+    #: fnmatch pattern -> direction override (see DIRECTIONS)
+    directions: Dict[str, str] = field(default_factory=dict)
 
     def rel_for(self, metric: str) -> float:
         for pattern in sorted(self.overrides):
@@ -183,22 +192,63 @@ class Tolerance:
                 return self.overrides[pattern]
         return self.rel
 
+    def direction_for(self, metric: str) -> str:
+        for pattern in sorted(self.directions):
+            if fnmatch.fnmatchcase(metric, pattern):
+                return self.directions[pattern]
+        return "both"
+
     def band(self, metric: str, mean: float, stdev: float) -> Tuple[float, float]:
         half = max(self.rel_for(metric) * abs(mean), self.abs, self.sigma * stdev)
         return (mean - half, mean + half)
 
+    def in_band(self, metric: str, value: float, lo: float, hi: float) -> bool:
+        direction = self.direction_for(metric)
+        if direction == "floor":
+            return value >= lo
+        if direction == "ceiling":
+            return value <= hi
+        return lo <= value <= hi
+
     @classmethod
     def load_overrides(cls, path: str, **kwargs: Any) -> "Tolerance":
-        """A Tolerance whose per-metric overrides come from a JSON file:
-        ``{"<fnmatch pattern>": <relative tolerance>, ...}``."""
+        """A Tolerance whose per-metric overrides come from a JSON file.
+
+        Each entry maps an fnmatch pattern either to a relative tolerance
+        (``{"pat": 0.5}``, both directions gate, the original form) or to
+        an object ``{"rel": 0.5, "direction": "floor"}`` where
+        ``direction`` picks which band edges fail (see DIRECTIONS).
+        """
         with open(path) as fh:
             raw = json.load(fh)
-        if not isinstance(raw, dict) or not all(
-            isinstance(k, str) and isinstance(v, (int, float)) and not isinstance(v, bool)
-            for k, v in raw.items()
-        ):
-            raise ValueError(f"{path}: expected {{pattern: relative tolerance}}")
-        return cls(overrides={k: float(v) for k, v in raw.items()}, **kwargs)
+        if not isinstance(raw, dict):
+            raise ValueError(f"{path}: expected {{pattern: tolerance}}")
+        overrides: Dict[str, float] = {}
+        directions: Dict[str, str] = {}
+        for key, value in raw.items():
+            if not isinstance(key, str):
+                raise ValueError(f"{path}: pattern must be a string, got {key!r}")
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                overrides[key] = float(value)
+                continue
+            if isinstance(value, dict):
+                rel = value.get("rel")
+                direction = value.get("direction", "both")
+                if (
+                    isinstance(rel, (int, float))
+                    and not isinstance(rel, bool)
+                    and direction in DIRECTIONS
+                    and set(value) <= {"rel", "direction"}
+                ):
+                    overrides[key] = float(rel)
+                    if direction != "both":
+                        directions[key] = direction
+                    continue
+            raise ValueError(
+                f"{path}: {key!r} must map to a relative tolerance or "
+                f"{{'rel': <num>, 'direction': {DIRECTIONS}}}, got {value!r}"
+            )
+        return cls(overrides=overrides, directions=directions, **kwargs)
 
 
 # -- the comparator --------------------------------------------------------------------
@@ -281,12 +331,13 @@ def compare(
         if key in embedded:
             mean, stdev = embedded[key]
         lo, hi = tolerance.band(key, mean, stdev)
-        in_band = lo <= now[key] <= hi
+        in_band = tolerance.in_band(key, now[key], lo, hi)
         if not in_band:
             failing += 1
         comparisons.append({
             "metric": key,
             "status": "ok" if in_band else "out-of-band",
+            "direction": tolerance.direction_for(key),
             "current": now[key],
             "baseline_mean": mean,
             "baseline_stdev": stdev,
@@ -303,6 +354,7 @@ def compare(
             "abs": tolerance.abs,
             "sigma": tolerance.sigma,
             "overrides": dict(tolerance.overrides),
+            "directions": dict(tolerance.directions),
         },
         "strict": strict,
         "comparisons": comparisons,

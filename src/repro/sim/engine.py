@@ -4,6 +4,20 @@ Time is an integer number of nanoseconds.  Events scheduled for the same
 instant run in scheduling order (a monotonically increasing sequence number
 breaks ties), which keeps runs deterministic for a fixed seed.
 
+The scheduler is a *bucketed calendar queue*: one FIFO bucket per distinct
+timestamp, plus a binary heap of the bucket timestamps themselves.  Pushing
+an event is a dict lookup and a list append (plus one integer heap push the
+first time a timestamp is seen); popping is an index increment into the
+current bucket.  Because a bucket is drained in append order and the
+sequence number grows monotonically, the dispatch order is *exactly* the
+``(time, seq)`` order of the previous single-``heapq`` implementation --
+``tests/sim/test_engine_order.py`` pins the equivalence property under
+random arm/cancel/reschedule interleavings.  The win is that the heap
+only ever compares machine integers (no ``EventHandle.__lt__`` Python
+callbacks) and only holds one entry per *distinct* timestamp: with the
+80 ns byte slot and the 1.2 ms Autopilot timer quantum, simultaneous
+events are the common case.
+
 The loop also supports *idle hooks*: callbacks invoked when the event queue
 drains while the caller expected progress.  The runtime deadlock detector in
 :mod:`repro.analysis.deadlock` uses this to notice packets that are in
@@ -13,9 +27,9 @@ the broadcast deadlock in section 6.6.6 of the paper.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from time import perf_counter_ns
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs.registry import MetricsRegistry
 
@@ -56,7 +70,15 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._queue: List[EventHandle] = []
+        #: bucketed calendar queue: timestamp -> FIFO list of handles
+        self._buckets: Dict[int, List[EventHandle]] = {}
+        #: min-heap of bucket timestamps (machine ints, C comparisons)
+        self._times: List[int] = []
+        #: bucket currently being drained (still present in _buckets so
+        #: same-instant reschedules land behind the drain index)
+        self._bucket: Optional[List[EventHandle]] = None
+        self._bucket_time: int = 0
+        self._bucket_pos: int = 0
         self._seq: int = 0
         self._running = False
         self._stopped = False
@@ -110,23 +132,52 @@ class Simulator:
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         self._seq += 1
-        handle = EventHandle(int(time), self._seq, fn, args)
+        time = int(time)
+        handle = EventHandle(time, self._seq, fn, args)
         if self.recorder is not None:
             # causality flows through the event loop: the scheduled event
             # inherits the context of whatever scheduled it
             handle.ctx = self.recorder.current
-        heapq.heappush(self._queue, handle)
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [handle]
+            heappush(self._times, time)
+        else:
+            bucket.append(handle)
         return handle
 
     def after(self, delay: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` after ``delay`` nanoseconds."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.at(self.now + int(delay), fn, *args)
+        # inlined at(): this is the hottest scheduling entry point
+        time = self.now + int(delay)
+        self._seq += 1
+        handle = EventHandle(time, self._seq, fn, args)
+        if self.recorder is not None:
+            handle.ctx = self.recorder.current
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [handle]
+            heappush(self._times, time)
+        else:
+            bucket.append(handle)
+        return handle
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at the current instant, after pending work."""
-        return self.at(self.now, fn, *args)
+        time = self.now
+        self._seq += 1
+        handle = EventHandle(time, self._seq, fn, args)
+        if self.recorder is not None:
+            handle.ctx = self.recorder.current
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [handle]
+            heappush(self._times, time)
+        else:
+            bucket.append(handle)
+        return handle
 
     # -- idle hooks --------------------------------------------------------------
 
@@ -155,25 +206,41 @@ class Simulator:
         self._running = True
         self._stopped = False
         dispatched = 0
-        if self.profiler is not None:
-            self.profiler.begin_run()
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.begin_run()
+        pop = self._pop_runnable
         try:
             while not self._stopped:
-                handle = self._pop_runnable()
+                handle = pop()
                 if handle is None:
                     if self._fire_idle_hooks():
                         continue
                     if until is not None:
                         self.now = until
                     break
-                if until is not None and handle.time > until:
-                    heapq.heappush(self._queue, handle)
+                time = handle.time
+                if until is not None and time > until:
+                    # un-consume the handle and release the bucket back to
+                    # the heap: the clock rewinds to ``until``, so a later
+                    # at() may legally arm an *earlier* timestamp, and the
+                    # next run() must take the true minimum, not resume
+                    # this bucket first.  Re-entering from the heap rescans
+                    # from index 0, which is safe: dispatched handles read
+                    # as cancelled and are skipped.
+                    self._bucket_pos -= 1
+                    heappush(self._times, self._bucket_time)
+                    self._bucket = None
                     self.now = until
                     break
-                self.now = handle.time
-                fn, args = handle.fn, handle.args
-                handle.cancel()
-                assert fn is not None  # runnable handles always hold their callable
+                self.now = time
+                fn = handle.fn
+                args = handle.args
+                # inline cancel(): dispatched handles read as consumed and
+                # drop their callable/argument references immediately
+                handle.cancelled = True
+                handle.fn = None
+                handle.args = ()
                 recorder = self.recorder
                 if recorder is not None:
                     # restore the causal context captured at schedule time
@@ -181,13 +248,10 @@ class Simulator:
                 profiler = self.profiler
                 if profiler is not None:
                     started = perf_counter_ns()
-                    fn(*args)
-                    profiler.account(
-                        getattr(fn, "__qualname__", str(fn)),
-                        perf_counter_ns() - started,
-                    )
+                    fn(*args)  # type: ignore[misc]
+                    profiler.account_call(fn, perf_counter_ns() - started)
                 else:
-                    fn(*args)
+                    fn(*args)  # type: ignore[misc]
                 self.events_dispatched += 1
                 dispatched += 1
                 if max_events is not None and dispatched >= max_events:
@@ -203,11 +267,37 @@ class Simulator:
         return self.run(until=self.now + duration)
 
     def _pop_runnable(self) -> Optional[EventHandle]:
-        while self._queue:
-            handle = heapq.heappop(self._queue)
-            if not handle.cancelled:
-                return handle
-        return None
+        """Consume and return the next live handle in (time, seq) order."""
+        bucket = self._bucket
+        buckets = self._buckets
+        while True:
+            if bucket is not None:
+                pos = self._bucket_pos
+                n = len(bucket)
+                while pos < n:
+                    handle = bucket[pos]
+                    pos += 1
+                    if not handle.cancelled:
+                        self._bucket_pos = pos
+                        return handle
+                    # a handler may append to this bucket while it drains
+                    n = len(bucket)
+                # exhausted: drop the bucket and move on.  No same-time
+                # append can happen later -- the clock only moves forward,
+                # and at() refuses past timestamps.
+                del buckets[self._bucket_time]
+                self._bucket = bucket = None
+            times = self._times
+            if not times:
+                return None
+            time = heappop(times)
+            # a bucket can be re-created (and its timestamp re-pushed)
+            # after draining while now still equals it; skip stale entries
+            found = buckets.get(time)
+            if found is not None:
+                self._bucket = bucket = found
+                self._bucket_time = time
+                self._bucket_pos = 0
 
     def _fire_idle_hooks(self) -> bool:
         """Run idle hooks; report whether any new events became runnable."""
@@ -215,16 +305,27 @@ class Simulator:
             return False
         for hook in list(self._idle_hooks):
             hook(self)
-        return any(not handle.cancelled for handle in self._queue)
+        return any(
+            not handle.cancelled
+            for bucket in self._buckets.values()
+            for handle in bucket
+        )
 
     # -- introspection --------------------------------------------------------------
 
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events in the queue."""
-        return sum(1 for handle in self._queue if not handle.cancelled)
+        return sum(
+            1
+            for bucket in self._buckets.values()
+            for handle in bucket
+            if not handle.cancelled
+        )
 
     def next_event_time(self) -> Optional[int]:
-        for handle in sorted(self._queue):
-            if not handle.cancelled:
-                return handle.time
-        return None
+        live = [
+            time
+            for time, bucket in self._buckets.items()
+            if any(not handle.cancelled for handle in bucket)
+        ]
+        return min(live) if live else None

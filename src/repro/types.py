@@ -25,7 +25,7 @@ PORT_MASK = (1 << PORT_NUMBER_BITS) - 1
 MAX_SWITCH_NUMBER = (ADDR_LAST_ASSIGNABLE >> PORT_NUMBER_BITS)
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Uid:
     """A 48-bit unique identifier burned into every switch and controller.
 

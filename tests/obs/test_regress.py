@@ -132,6 +132,51 @@ def test_tolerance_fnmatch_overrides(tmp_path):
 # -- compare ---------------------------------------------------------------------------
 
 
+def test_tolerance_direction_overrides(tmp_path):
+    path = tmp_path / "tolerances.json"
+    path.write_text(json.dumps({
+        "*/ev_per_sec": {"rel": 0.3, "direction": "floor"},
+        "*/wall_ms": {"rel": 0.3, "direction": "ceiling"},
+        "*/other": 0.5,
+    }))
+    tol = Tolerance.load_overrides(str(path))
+    assert tol.direction_for("x/ev_per_sec") == "floor"
+    assert tol.direction_for("x/wall_ms") == "ceiling"
+    assert tol.direction_for("x/other") == "both"
+    assert tol.rel_for("x/ev_per_sec") == 0.3
+    # floor: only a drop below the band fails
+    assert tol.in_band("x/ev_per_sec", 1e9, lo=70.0, hi=130.0)
+    assert not tol.in_band("x/ev_per_sec", 69.0, lo=70.0, hi=130.0)
+    # ceiling: only a rise above the band fails
+    assert tol.in_band("x/wall_ms", 0.0, lo=70.0, hi=130.0)
+    assert not tol.in_band("x/wall_ms", 131.0, lo=70.0, hi=130.0)
+    for bad_value in ({"rel": 0.3, "direction": "sideways"},
+                      {"direction": "floor"},
+                      {"rel": 0.3, "extra": 1}):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"pat": bad_value}))
+        with pytest.raises(ValueError):
+            Tolerance.load_overrides(str(bad))
+
+
+def test_floor_direction_admits_improvement_but_gates_regression():
+    """The perf-gate shape: throughput may improve without limit, but a
+    drop below the band is a regression."""
+    tol = Tolerance(rel=0.25, directions={"*/measured_ms": "floor"})
+    fast = compare(make_doc(measured=10_000.0, blackout=9_000.0),
+                   [make_doc()], tolerance=tol)
+    named = {c["metric"]: c for c in fast["comparisons"]}
+    assert named["E1_src_lan/tuned/measured_ms"]["status"] == "ok"
+    assert named["E1_src_lan/tuned/measured_ms"]["direction"] == "floor"
+    # blackout_ms has no direction override: improvement past band fails
+    assert named["E1_src_lan/tuned/blackout_ms"]["status"] == "out-of-band"
+    slow = compare(make_doc(measured=1.0, blackout=119.3), [make_doc()],
+                   tolerance=tol)
+    named = {c["metric"]: c for c in slow["comparisons"]}
+    assert named["E1_src_lan/tuned/measured_ms"]["status"] == "out-of-band"
+    assert slow["verdict"] == "regression"
+
+
 def test_identical_run_is_in_band():
     verdict = compare(make_doc(), [make_doc()])
     validate_regress(verdict)
