@@ -27,7 +27,7 @@ from repro.analysis.capacity import analyze_capacity
 from repro.baselines.routing_ablation import tree_only_topology
 from repro.constants import SEC
 from repro.network import Network
-from repro.topology import expected_tree, random_regular, torus, tree
+from repro.topology import dcell, expected_tree, fat_tree, random_regular, torus, tree
 from repro.topology.src_lan import src_service_lan
 
 
@@ -51,6 +51,8 @@ def test_topology_trade_table(benchmark):
         torus(3, 4),
         tree(depth=3, fanout=2),           # 15 switches, no cross links
         random_regular(12, degree=4, seed=current_seed(5)),
+        fat_tree(4),                       # 20 switches, three-tier data center
+        dcell(3, level=1),                 # 16 switches, server-centric cells
         src_service_lan(),
     ]
 
@@ -89,6 +91,9 @@ def test_topology_trade_table(benchmark):
     # a tree cannot survive single failures; the meshes can
     assert not by_name["tree-d3f2"][5]
     assert by_name["src-lan-30"][5]
+    # both data-center families are biconnected by construction
+    assert by_name["fat-tree-4"][5]
+    assert by_name["dcell-3l1"][5]
     # the tree funnels everything through the root
     assert float(by_name["tree-d3f2"][4].rstrip("%")) > float(
         by_name["src-lan-30"][4].rstrip("%")

@@ -227,6 +227,9 @@ def telemetry_dashboard(network) -> str:
     if getattr(network, "inband", None) is not None:
         lines.append("")
         lines.append(path_report(network))
+    if getattr(network, "control", None) is not None:
+        lines.append("")
+        lines.append(control_report(network))
     return "\n".join(lines)
 
 
@@ -349,6 +352,54 @@ def path_report(network, width: int = 32, top: int = 6) -> str:
         lines.append("")
         lines.extend(f"  {row}".rstrip() for row in heat)
     return "\n".join(lines)
+
+
+def control_report(network) -> str:
+    """The ``control plane`` section of the doctor's output: what
+    reconfiguration itself cost -- control-packet volume by message type
+    and phase (election / loading / steady), retransmissions, and the
+    per-epoch slices.  Off unless the network was built with
+    ``Network(control=True)``."""
+    acct = getattr(network, "control", None)
+    lines = ["control plane:"]
+    if acct is None:
+        lines.append("  off (build Network(control=True) to count)")
+        return "\n".join(lines)
+    summary = acct.summary()
+    lines.append(
+        f"  {summary['packets']} control packets, "
+        f"{summary['bytes'] / 1024:.1f} KiB, "
+        f"{summary['retransmissions']} retransmitted"
+    )
+    for phase, cell in summary["by_phase"].items():
+        lines.append(
+            f"    {phase:<9} {cell['packets']:>6} pkts "
+            f"{cell['bytes'] / 1024:>8.1f} KiB"
+        )
+    for msg_type, cell in summary["by_type"].items():
+        lines.append(
+            f"    {msg_type:<18} {cell['packets']:>6} pkts "
+            f"{cell['bytes'] / 1024:>8.1f} KiB"
+        )
+    for epoch, cell in summary["epochs"].items():
+        lines.append(
+            f"    epoch {epoch}: {cell['packets']} pkts "
+            f"{cell['bytes'] / 1024:.1f} KiB, {cell['retransmissions']} retx"
+        )
+    if summary["srp"]:
+        srp = ", ".join(f"{k}={v}" for k, v in summary["srp"].items())
+        lines.append(f"    srp: {srp}")
+    return "\n".join(lines)
+
+
+def sweep_report(doc) -> str:
+    """The ``sweep`` section of the doctor's output: the scaling curves
+    of a ``repro.obs.sweep/1`` artifact -- one row per topology rung and
+    the fitted log-log exponents.  Takes the document (sweeps span many
+    networks, so there is no live network to inspect)."""
+    from repro.obs.sweep import render_sweep, validate_sweep
+
+    return render_sweep(validate_sweep(doc))
 
 
 def staticcheck_report(roots=("src",), baseline_path=None) -> str:

@@ -269,6 +269,14 @@ class Autopilot:
                 port=port,
                 dest=packet.dest_short,
             )
+        acct = self.sim.control
+        if acct is not None:
+            acct.record_send(
+                self.engine.epoch,
+                type(message).__name__,
+                self.engine.phase,
+                packet.wire_bytes,
+            )
 
     # -- packet reception --------------------------------------------------------------------
 

@@ -158,6 +158,22 @@ class ReconfigEngine:
         per-switch ``blackout_in_progress`` flag."""
         return not (self.configured and self.table_loaded)
 
+    @property
+    def phase(self) -> str:
+        """Which reconfiguration phase this switch is in right now.
+
+        ``election`` covers the paper's steps 1-3 (table cleared, the
+        spanning tree still forming), ``loading`` is step 5 in progress
+        (configuration adopted but the forwarding table not yet
+        reloaded), and ``steady`` is normal operation.  Control-plane
+        cost accounting labels every sent packet with the sender's
+        phase, so a sweep can attribute control volume to tree election
+        versus table distribution versus steady-state skepticism.
+        """
+        if self.configured:
+            return "steady" if self.table_loaded else "loading"
+        return "election"
+
     # -- epoch management -------------------------------------------------------------
 
     def initiate(self, reason: str) -> None:
@@ -240,6 +256,10 @@ class ReconfigEngine:
         if pending.attempts > self.params.max_retx:
             self._pending.pop(pending.message.msg_id, None)
             return
+        if pending.attempts > 1:
+            acct = self.ap.sim.control
+            if acct is not None:
+                acct.record_retx(self.epoch, type(pending.message).__name__)
         self.ap.send_one_hop(pending.port, pending.message)
         pending.event = self.ap.sim.after(
             self.params.retx_period_ns, self._retransmit, pending

@@ -23,6 +23,7 @@ from repro.host.driver import AutonetDriver
 from repro.net.link import Link, LinkState, connect
 from repro.net.switch import Switch
 from repro.obs.flight import FlightRecorder
+from repro.obs.control import ControlAccounting
 from repro.obs.inband import InbandConfig, InbandTelemetry
 from repro.obs.profiler import EventLoopProfiler
 from repro.obs.spans import ReconfigTracer
@@ -68,6 +69,7 @@ class Network:
         profile: bool = False,
         timeseries: "bool | int | TimeSeriesConfig | None" = False,
         inband: "bool | int | InbandConfig | None" = False,
+        control: bool = False,
     ) -> None:
         self.spec = spec
         #: pass a shared simulator to co-simulate several Autonets (for
@@ -108,6 +110,14 @@ class Network:
                 self.sim, self.inband_config, tracer=self.tracer
             )
             self.sim.inband = self.inband
+        #: opt-in control-plane cost accounting (repro.obs.control).
+        #: Off (the default) leaves sim.control None: the send/retx/SRP
+        #: hooks pay one load + None test and nothing is counted.
+        self.control: Optional[ControlAccounting] = (
+            ControlAccounting() if control else None
+        )
+        if self.control is not None:
+            self.sim.control = self.control
 
         self.switches: List[Switch] = []
         self.autopilots: List[Autopilot] = []
@@ -383,6 +393,8 @@ class Network:
                 epoch: self.host_blackouts(epoch)
                 for epoch in self.tracer.epochs()
             }
+        if self.control is not None:
+            out["control"] = self.control.summary()
         return out
 
     def host_blackouts(self, epoch: int) -> Dict[str, Optional[int]]:

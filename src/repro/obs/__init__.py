@@ -35,11 +35,21 @@ bench-trajectory needs of ROADMAP.md:
   timestamp); the host side folds delivered stacks into per-flow path
   records, link congestion tables, and delivery-SLO windows aligned to
   reconfiguration epochs, exported as ``repro.obs.inband/1``.
+* :mod:`repro.obs.control` -- control-plane cost accounting: per-epoch
+  counters of control-packet volume by message type and reconfiguration
+  phase (election / loading / steady), plus retransmission and SRP
+  tallies, behind the ``sim.control`` null fast path.
+* :mod:`repro.obs.sweep` -- the scaling observatory: one seeded fault
+  scenario run across a topology ladder (tori, fat-trees, DCells),
+  recording convergence, blackout, control volume, FIFO depth and
+  simulator throughput per rung into ``repro.obs.sweep/1`` with
+  log-log slope fits per metric.
 
 ``python -m repro.obs`` exposes ``export``, ``why``, ``profile``,
-``watch``, ``paths``, and ``regress``.
+``watch``, ``paths``, ``regress``, and ``sweep``.
 """
 
+from repro.obs.control import PHASES, ControlAccounting
 from repro.obs.export import (
     SCHEMA,
     bench_document,
@@ -93,6 +103,21 @@ from repro.obs.regress import (
     write_regress,
 )
 from repro.obs.spans import ReconfigTracer, Span, SpanTracer
+from repro.obs.sweep import (
+    LADDERS,
+    SWEEP_METRICS,
+    SWEEP_SCHEMA,
+    SweepPoint,
+    SweepSchemaError,
+    fit_slope,
+    fit_slopes,
+    read_sweep,
+    render_sweep,
+    run_point,
+    run_sweep,
+    validate_sweep,
+    write_sweep,
+)
 from repro.obs.timeseries import (
     TIMESERIES_SCHEMA,
     SeriesData,
@@ -156,4 +181,19 @@ __all__ = [
     "read_regress",
     "validate_regress",
     "write_regress",
+    "PHASES",
+    "ControlAccounting",
+    "LADDERS",
+    "SWEEP_METRICS",
+    "SWEEP_SCHEMA",
+    "SweepPoint",
+    "SweepSchemaError",
+    "fit_slope",
+    "fit_slopes",
+    "read_sweep",
+    "render_sweep",
+    "run_point",
+    "run_sweep",
+    "validate_sweep",
+    "write_sweep",
 ]

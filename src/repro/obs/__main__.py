@@ -31,7 +31,9 @@ a ``repro.obs.flight/1`` document loadable at https://ui.perfetto.dev;
 from the recorded parent chain; ``profile`` measures the simulator
 itself; ``watch`` renders the time-series sampler live (or replays an
 artifact); ``regress`` compares ``repro.bench/1`` documents against a
-baseline window and exits non-zero on out-of-band metrics.
+baseline window and exits non-zero on out-of-band metrics; ``sweep``
+climbs a topology ladder and writes ``repro.obs.sweep/1`` scaling
+curves (convergence, blackout, control-plane cost versus size).
 """
 
 from __future__ import annotations
@@ -54,9 +56,10 @@ from repro.obs.regress import (
     render_verdict,
     write_regress,
 )
+from repro.obs.sweep import LADDERS, render_sweep, run_sweep, write_sweep
 from repro.obs.timeseries import TimeSeries, TimeSeriesConfig
 from repro.obs.watch import watch_live, watch_replay
-from repro.topology.generators import resolve_topology
+from repro.topology.generators import TOPOLOGY_FAMILIES, resolve_topology
 
 
 def _parse_cut(text: str) -> Tuple[int, int]:
@@ -391,6 +394,28 @@ def _cmd_regress(args) -> int:
     return 0 if verdict["verdict"] == "ok" else 1
 
 
+def _cmd_sweep(args) -> int:
+    def progress(point) -> None:
+        note = (
+            f"skipped ({point.skip_reason})"
+            if point.status == "skipped"
+            else "ok"
+        )
+        print(f"  {point.name}: {note}", file=sys.stderr)
+
+    doc = run_sweep(
+        ladder=args.ladder,
+        seed=args.seed,
+        topologies=args.topo,
+        progress=progress,
+    )
+    out = args.out or f"sweep-{args.ladder}.json"
+    write_sweep(out, doc)
+    print(render_sweep(doc))
+    print(f"wrote {out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -544,6 +569,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_regress.set_defaults(fn=_cmd_regress)
 
+    p_sweep = sub.add_parser(
+        "sweep", help="run the scaling sweep across a topology ladder"
+    )
+    p_sweep.add_argument(
+        "--ladder",
+        default="smoke",
+        choices=sorted(LADDERS),
+        help="which rung set to climb (default smoke)",
+    )
+    p_sweep.add_argument(
+        "--topo",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="explicit rung (repeatable; overrides --ladder's rung list)",
+    )
+    p_sweep.add_argument("--seed", type=int, default=0, help="sweep seed")
+    p_sweep.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="artifact path (default sweep-<ladder>.json)",
+    )
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
     args = parser.parse_args(argv)
     if getattr(args, "fn", None) is None:
         # no subcommand: list what exists instead of a bare argparse error
@@ -555,6 +605,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         }
         for name in sub.choices:
             print(f"  {name:<8} {helps.get(name) or ''}", file=sys.stderr)
+        print("topologies (--topo):", file=sys.stderr)
+        for example, desc in TOPOLOGY_FAMILIES:
+            print(f"  {example:<14} {desc}", file=sys.stderr)
         return 2
     return args.fn(args)
 

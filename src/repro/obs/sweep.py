@@ -1,0 +1,419 @@
+"""Scaling sweeps: how reconfiguration cost grows with network size.
+
+The paper closes by asking about "the performance characteristics of
+different topologies" -- a question its authors could not answer beyond
+their 30-switch SRC LAN.  This module is the instrument: it runs one
+seeded fault scenario (converge from cold boot, cut the first cable,
+reconverge) across a ladder of topologies and records, per point,
+
+* ``converge_ns``          -- sim time until every switch is configured
+  with its forwarding table loaded after cold boot;
+* ``reconfig_ns``          -- duration of the fault-triggered
+  reconfiguration epoch (the paper's table 1 metric);
+* ``blackout_ns``          -- the worst per-switch data blackout of that
+  epoch (shutter close -> reopen, §6.4);
+* ``control_packets`` / ``control_bytes`` / ``control_retx`` -- the
+  control-plane volume the fault injected (repro.obs.control);
+* ``fifo_highwater_bytes`` -- the deepest any receive FIFO got;
+* ``events_per_sec``       -- simulator throughput (wall-clock; excluded
+  from deterministic comparisons).
+
+Results go into a versioned ``repro.obs.sweep/1`` artifact together
+with log-log least-squares slope fits per metric, so "blackout grows
+with exponent 1.4 in switch count" is a number a CI gate can hold.
+
+Points whose switch count exceeds the 126-switch short-address ceiling
+(``MAX_SWITCH_NUMBER``, §3: 11 bits of short address minus the
+four port bits) are recorded explicitly as ``skipped`` -- the ceiling
+is itself a scaling finding, not something to silently truncate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.types import MAX_SWITCH_NUMBER
+
+SWEEP_SCHEMA = "repro.obs.sweep/1"
+
+#: every metric a sweep point may carry (RS307: set_metric takes these
+#: as literal strings so the set stays greppable)
+SWEEP_METRICS = (
+    "converge_ns",
+    "reconfig_ns",
+    "blackout_ns",
+    "control_packets",
+    "control_bytes",
+    "control_retx",
+    "fifo_highwater_bytes",
+    "events_per_sec",
+)
+
+#: metrics every simulated ("ok") point must report
+REQUIRED_METRICS = (
+    "converge_ns",
+    "reconfig_ns",
+    "blackout_ns",
+    "control_packets",
+    "control_bytes",
+)
+
+#: metrics that depend on wall-clock time: real but not deterministic,
+#: so regression gates treat them as telemetry, never as exact rows
+WALL_CLOCK_METRICS = ("events_per_sec",)
+
+#: named topology ladders.  ``smoke`` is the CI-sized rung set; ``full``
+#: climbs to the largest simulable sizes; ``scale`` adds the points the
+#: ISSUE asks about that sit beyond the 126-switch address ceiling --
+#: they appear in the artifact as explicit skips.
+LADDERS: Dict[str, Tuple[str, ...]] = {
+    "smoke": ("torus-3x4", "torus-4x4", "fat-tree-4", "dcell-3l1"),
+    "full": (
+        "torus-3x4",
+        "torus-4x4",
+        "torus-5x5",
+        "torus-6x6",
+        "torus-8x8",
+        "torus-10x10",
+        "torus-11x11",
+        "fat-tree-4",
+        "fat-tree-6",
+        "fat-tree-8",
+        "dcell-3l1",
+        "dcell-4l1",
+        "dcell-2l2",
+    ),
+    "scale": (
+        "torus-3x4",
+        "torus-4x4",
+        "torus-5x5",
+        "torus-6x6",
+        "torus-8x8",
+        "torus-10x10",
+        "torus-11x11",
+        "torus-16x16",
+        "torus-32x32",
+        "fat-tree-4",
+        "fat-tree-6",
+        "fat-tree-8",
+        "dcell-3l1",
+        "dcell-4l1",
+        "dcell-2l2",
+        "dcell-3l2",
+    ),
+}
+
+#: sim-time budget per convergence wait (Network.run_until_converged
+#: steps deterministically and demands oracle agreement, §6.6)
+CONVERGE_LIMIT_NS = 60_000_000_000
+
+
+class SweepSchemaError(ValueError):
+    """A document does not conform to ``repro.obs.sweep/1``."""
+
+
+class SweepPoint:
+    """One topology rung of a sweep: identity plus validated metrics."""
+
+    __slots__ = ("name", "switches", "links", "status", "skip_reason", "metrics")
+
+    def __init__(self, name: str, switches: int, links: int) -> None:
+        self.name = name
+        self.switches = switches
+        self.links = links
+        self.status = "ok"
+        self.skip_reason: Optional[str] = None
+        self.metrics: Dict[str, float] = {}
+
+    def skip(self, reason: str) -> None:
+        self.status = "skipped"
+        self.skip_reason = reason
+
+    def set_metric(self, name: str, value: float) -> None:
+        """Record one metric; the name must be a known sweep series."""
+        if name not in SWEEP_METRICS:
+            raise ValueError(
+                f"unknown sweep metric {name!r} (known: {', '.join(SWEEP_METRICS)})"
+            )
+        self.metrics[name] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "switches": self.switches,
+            "links": self.links,
+            "status": self.status,
+            "metrics": dict(self.metrics),
+        }
+        if self.skip_reason is not None:
+            out["skip_reason"] = self.skip_reason
+        return out
+
+
+def run_point(name: str, seed: int) -> SweepPoint:
+    """Run the seeded fault scenario on one topology rung."""
+    from repro.network import Network
+    from repro.sim.rng import RngRegistry
+    from repro.topology.generators import resolve_topology
+
+    spec = resolve_topology(name)
+    point = SweepPoint(name, switches=len(spec.uids), links=len(spec.cables))
+    if point.switches > MAX_SWITCH_NUMBER:
+        point.skip(
+            f"{point.switches} switches exceed the {MAX_SWITCH_NUMBER}-switch "
+            "short-address ceiling (11-bit address minus 4 port bits, §3)"
+        )
+        return point
+
+    child = RngRegistry(seed).child_seed(f"sweep/{name}")
+    net = Network(spec, seed=child, control=True, profile=True)
+    if not net.run_until_converged(timeout_ns=CONVERGE_LIMIT_NS):
+        point.skip(f"did not converge within {CONVERGE_LIMIT_NS} ns of boot")
+        return point
+    tracer = net.tracer
+    assert tracer is not None and net.control is not None
+    boot_spans = [s for s in tracer.all_spans() if s.closed]
+    point.set_metric("converge_ns", max(s.end_ns for s in boot_spans))
+    boot_epochs = {s.key for s in tracer.all_spans()}
+
+    packets_before = net.control.packets
+    bytes_before = net.control.bytes
+    retx_before = net.control.retransmissions()
+    cut_a, _pa, cut_b, _pb = spec.cables[0]
+    net.cut_link(cut_a, cut_b)
+    if not net.run_until_converged(timeout_ns=CONVERGE_LIMIT_NS):
+        point.skip(f"did not reconverge within {CONVERGE_LIMIT_NS} ns of the cut")
+        return point
+
+    fault_spans = [
+        s for s in tracer.all_spans() if s.key not in boot_epochs and s.closed
+    ]
+    if not fault_spans:
+        point.skip("link cut triggered no reconfiguration span")
+        return point
+    last = max(fault_spans, key=lambda s: s.key)
+    point.set_metric("reconfig_ns", last.end_ns - min(s.start_ns for s in fault_spans))
+    blackouts = [
+        b["blackout_ns"]
+        for s in fault_spans
+        for b in tracer.blackouts(s.key).values()
+        if b["blackout_ns"] is not None
+    ]
+    point.set_metric("blackout_ns", max(blackouts) if blackouts else 0)
+    point.set_metric("control_packets", net.control.packets - packets_before)
+    point.set_metric("control_bytes", net.control.bytes - bytes_before)
+    point.set_metric("control_retx", net.control.retransmissions() - retx_before)
+    point.set_metric(
+        "fifo_highwater_bytes",
+        max(
+            unit.fifo.max_level
+            for switch in net.switches
+            for unit in switch.ports.values()
+        ),
+    )
+    profiler = net.profiler
+    if profiler is not None:
+        point.set_metric("events_per_sec", round(profiler.events_per_sec(), 1))
+    return point
+
+
+def fit_slope(points: Sequence[Tuple[float, float]]) -> Optional[Dict[str, float]]:
+    """Least-squares slope of log(y) against log(x).
+
+    The slope is the scaling exponent: 1.0 means the metric grows
+    linearly in switch count, 2.0 quadratically.  Returns None when
+    fewer than two strictly positive samples exist.
+    """
+    usable = [(x, y) for x, y in points if x > 0 and y > 0]
+    if len(usable) < 2:
+        return None
+    logs = [(math.log(x), math.log(y)) for x, y in usable]
+    n = len(logs)
+    mean_x = sum(lx for lx, _ in logs) / n
+    mean_y = sum(ly for _, ly in logs) / n
+    var_x = sum((lx - mean_x) ** 2 for lx, _ in logs)
+    if var_x == 0.0:
+        return None
+    cov = sum((lx - mean_x) * (ly - mean_y) for lx, ly in logs)
+    slope = cov / var_x
+    var_y = sum((ly - mean_y) ** 2 for _, ly in logs)
+    r2 = 0.0 if var_y == 0.0 else (cov * cov) / (var_x * var_y)
+    return {"slope": round(slope, 4), "r2": round(r2, 4), "points": n}
+
+
+def fit_slopes(points: Sequence[SweepPoint]) -> Dict[str, Dict[str, float]]:
+    """Per-metric scaling exponents over the simulated points."""
+    out: Dict[str, Dict[str, float]] = {}
+    for metric in SWEEP_METRICS:
+        samples = [
+            (float(p.switches), float(p.metrics[metric]))
+            for p in points
+            if p.status == "ok" and metric in p.metrics
+        ]
+        fit = fit_slope(samples)
+        if fit is not None:
+            out[metric] = fit
+    return out
+
+
+def run_sweep(
+    ladder: str = "smoke",
+    seed: int = 0,
+    topologies: Optional[Sequence[str]] = None,
+    progress=None,
+) -> Dict[str, Any]:
+    """Run every rung of a ladder and assemble the sweep document.
+
+    ``topologies`` overrides the named ladder with an explicit rung
+    list; ``progress`` (if given) is called with each finished
+    :class:`SweepPoint`.
+    """
+    if topologies is None:
+        if ladder not in LADDERS:
+            raise ValueError(
+                f"unknown ladder {ladder!r} (known: {', '.join(sorted(LADDERS))})"
+            )
+        topologies = LADDERS[ladder]
+    points: List[SweepPoint] = []
+    for name in topologies:
+        point = run_point(name, seed)
+        points.append(point)
+        if progress is not None:
+            progress(point)
+    doc = {
+        "schema": SWEEP_SCHEMA,
+        "ladder": ladder,
+        "seed": seed,
+        "scenario": "boot-converge, cut first cable, reconverge",
+        "metrics": list(SWEEP_METRICS),
+        "points": [p.to_dict() for p in points],
+        "slopes": fit_slopes(points),
+    }
+    return validate_sweep(doc)
+
+
+# -- the repro.obs.sweep/1 artifact ---------------------------------------------------
+
+
+def _fail(path: str, why: str) -> None:
+    raise SweepSchemaError(f"{path}: {why}")
+
+
+def validate_sweep(doc: Any) -> Dict[str, Any]:
+    """Validate a ``repro.obs.sweep/1`` document; returns it unchanged."""
+    if not isinstance(doc, dict):
+        _fail("$", "document must be an object")
+    if doc.get("schema") != SWEEP_SCHEMA:
+        _fail("$.schema", f"must be {SWEEP_SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("ladder"), str) or not doc["ladder"]:
+        _fail("$.ladder", "must be a non-empty string")
+    if not isinstance(doc.get("seed"), int) or isinstance(doc.get("seed"), bool):
+        _fail("$.seed", "must be an integer")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list) or not all(
+        isinstance(m, str) for m in metrics
+    ):
+        _fail("$.metrics", "must be a list of metric-name strings")
+    unknown = [m for m in metrics if m not in SWEEP_METRICS]
+    if unknown:
+        _fail("$.metrics", f"unknown metric names: {unknown}")
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        _fail("$.points", "must be a non-empty list")
+    for i, point in enumerate(points):
+        where = f"$.points[{i}]"
+        if not isinstance(point, dict):
+            _fail(where, "must be an object")
+        if not isinstance(point.get("name"), str) or not point["name"]:
+            _fail(f"{where}.name", "must be a non-empty string")
+        for field in ("switches", "links"):
+            value = point.get(field)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                _fail(f"{where}.{field}", "must be a non-negative integer")
+        status = point.get("status")
+        if status not in ("ok", "skipped"):
+            _fail(f"{where}.status", f"must be 'ok' or 'skipped', got {status!r}")
+        if status == "skipped" and not isinstance(point.get("skip_reason"), str):
+            _fail(f"{where}.skip_reason", "skipped points must say why")
+        pmetrics = point.get("metrics")
+        if not isinstance(pmetrics, dict):
+            _fail(f"{where}.metrics", "must be an object")
+        for key, value in pmetrics.items():
+            if key not in SWEEP_METRICS:
+                _fail(f"{where}.metrics", f"unknown metric {key!r}")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                _fail(f"{where}.metrics.{key}", "must be a number")
+        if status == "ok":
+            missing = [m for m in REQUIRED_METRICS if m not in pmetrics]
+            if missing:
+                _fail(f"{where}.metrics", f"ok point missing {missing}")
+    slopes = doc.get("slopes")
+    if not isinstance(slopes, dict):
+        _fail("$.slopes", "must be an object")
+    for metric, fit in slopes.items():
+        where = f"$.slopes.{metric}"
+        if metric not in SWEEP_METRICS:
+            _fail(where, f"unknown metric {metric!r}")
+        if not isinstance(fit, dict):
+            _fail(where, "must be an object")
+        for field in ("slope", "r2"):
+            value = fit.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                _fail(f"{where}.{field}", "must be a number")
+        count = fit.get("points")
+        if not isinstance(count, int) or isinstance(count, bool) or count < 2:
+            _fail(f"{where}.points", "must be an integer >= 2")
+    return doc
+
+
+def write_sweep(path: str, doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate and write the artifact; returns the doc."""
+    validate_sweep(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return doc
+
+
+def read_sweep(path: str) -> Dict[str, Any]:
+    """Read and validate a sweep artifact."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return validate_sweep(json.load(fh))
+
+
+def render_sweep(doc: Dict[str, Any]) -> str:
+    """Human-readable table of one sweep document."""
+    lines = [
+        f"scaling sweep: ladder={doc['ladder']} seed={doc['seed']} "
+        f"({doc.get('scenario', '')})"
+    ]
+    header = (
+        f"  {'topology':<14} {'sw':>5} {'links':>6} {'converge ms':>12} "
+        f"{'reconfig ms':>12} {'blackout ms':>12} {'ctl pkts':>9} {'ctl KiB':>8}"
+    )
+    lines.append(header)
+    for point in doc["points"]:
+        if point["status"] == "skipped":
+            lines.append(
+                f"  {point['name']:<14} {point['switches']:>5} "
+                f"{point['links']:>6}  skipped: {point.get('skip_reason', '')}"
+            )
+            continue
+        m = point["metrics"]
+        lines.append(
+            f"  {point['name']:<14} {point['switches']:>5} {point['links']:>6} "
+            f"{m['converge_ns'] / 1e6:>12.2f} {m['reconfig_ns'] / 1e6:>12.2f} "
+            f"{m['blackout_ns'] / 1e6:>12.2f} {m['control_packets']:>9.0f} "
+            f"{m['control_bytes'] / 1024:>8.1f}"
+        )
+    slopes = doc.get("slopes", {})
+    if slopes:
+        lines.append("  scaling exponents (log-log slope vs switches):")
+        for metric, fit in slopes.items():
+            lines.append(
+                f"    {metric:<22} slope={fit['slope']:+.3f}  "
+                f"r2={fit['r2']:.3f}  n={fit['points']}"
+            )
+    return "\n".join(lines)

@@ -113,6 +113,12 @@ class Simulator:
         #: plus a None test, no hop records are allocated, and runs stay
         #: byte-identical (RS305 enforces the pattern at call sites).
         self.inband = None
+        #: optional control-plane cost accounting (repro.obs.control.
+        #: ControlAccounting).  None (the default) is the fast path:
+        #: every send/retransmit/SRP hook in autopilot/reconfig/srp is
+        #: one attribute load plus a None test and no counter cells are
+        #: allocated (RS306 enforces the pattern at call sites).
+        self.control = None
 
     def enable_metrics(self) -> None:
         """Turn on telemetry and publish the engine's own series."""

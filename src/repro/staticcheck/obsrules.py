@@ -32,6 +32,15 @@ keep call sites inside that contract:
   ``switch``/``linkunit``/``fifo``/``host``; a chained or unguarded call
   silently regresses the disabled fast path (or crashes when the layer
   is off).
+* **RS306** -- control-plane accounting hooks (``record_send`` /
+  ``record_retx`` / ``record_srp`` on ``sim.control``) must follow the
+  same one-load+None-test pattern.  The hooks sit on every control
+  message send in ``autopilot``/``reconfig``/``srp``; an unguarded call
+  crashes every network built without ``control=True``.
+* **RS307** -- sweep collectors must use literal metric names:
+  ``point.set_metric(...)`` takes its series name as a string literal so
+  the ``repro.obs.sweep/1`` metric set stays a static, greppable
+  vocabulary (same schema-stability argument as RS301/RS304).
 """
 
 from __future__ import annotations
@@ -66,6 +75,8 @@ IMPLEMENTATION_MODULES = frozenset({
     "repro.obs.spans",
     "repro.obs.timeseries",
     "repro.obs.inband",
+    "repro.obs.control",
+    "repro.obs.sweep",
 })
 
 #: receivers that look like a time-series sampler
@@ -97,6 +108,15 @@ INBAND_METHODS = frozenset({
     "record_queue_drop",
     "record_delivery",
 })
+
+#: attribute names holding the control-plane accounting layer (RS306)
+CONTROL_ATTRS = frozenset({"control"})
+
+#: hot-path hooks RS306 audits on the accounting layer
+CONTROL_METHODS = frozenset({"record_send", "record_retx", "record_srp"})
+
+#: receivers that look like a sweep point / harness (RS307)
+SWEEP_HINTS = ("point", "sweep")
 
 
 class ObsDisciplinePass(Pass):
@@ -139,6 +159,21 @@ class ObsDisciplinePass(Pass):
             hint="load it once (ib = <owner>.inband), test 'if ib is not None', "
                  "then stamp",
         ),
+        Rule(
+            id="RS306",
+            title="control-accounting hook bypasses the None-test pattern",
+            invariant="disabled control accounting costs one attribute load + None test",
+            paper="repro.obs.control disabled fast path (§6 control-plane cost)",
+            hint="load it once (acct = <owner>.control), test 'if acct is not "
+                 "None', then record",
+        ),
+        Rule(
+            id="RS307",
+            title="sweep metric name is not a string literal",
+            invariant="the repro.obs.sweep/1 metric set is static and greppable",
+            paper="repro.obs.sweep/1 schema stability",
+            hint="pass a literal SWEEP_METRICS name to set_metric()",
+        ),
     )
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:
@@ -148,6 +183,7 @@ class ObsDisciplinePass(Pass):
             if isinstance(node, ast.Call):
                 yield from self._check_metric_call(module, node)
                 yield from self._check_sampler_call(module, node)
+                yield from self._check_sweep_call(module, node)
         for scope in function_scopes(module.tree):
             if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 yield from self._check_guarded_calls(
@@ -157,6 +193,10 @@ class ObsDisciplinePass(Pass):
                 yield from self._check_guarded_calls(
                     module, scope, INBAND_ATTRS, INBAND_METHODS,
                     "RS305", "in-band layer",
+                )
+                yield from self._check_guarded_calls(
+                    module, scope, CONTROL_ATTRS, CONTROL_METHODS,
+                    "RS306", "control accounting",
                 )
 
     # -- RS301 / RS302 -----------------------------------------------------------------
@@ -265,7 +305,28 @@ class ObsDisciplinePass(Pass):
                         "without bound at the sampling rate",
                     )
 
-    # -- RS303 / RS305 -----------------------------------------------------------------
+    # -- RS307 -------------------------------------------------------------------------
+
+    def _check_sweep_call(self, module: ParsedModule,
+                          node: ast.Call) -> Iterator[Finding]:
+        if not (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "set_metric"):
+            return
+        receiver = dotted_name(node.func.value) or ""
+        tail = receiver.rsplit(".", 1)[-1]
+        if not any(hint in tail for hint in SWEEP_HINTS):
+            return
+        if node.args:
+            name_arg = node.args[0]
+            if not (isinstance(name_arg, ast.Constant)
+                    and isinstance(name_arg.value, str)):
+                yield self.finding(
+                    "RS307", module, name_arg,
+                    f"{receiver}.set_metric() metric name is computed, "
+                    f"not a string literal",
+                )
+
+    # -- RS303 / RS305 / RS306 ---------------------------------------------------------
 
     def _check_guarded_calls(self, module: ParsedModule,
                              func: ast.FunctionDef,

@@ -2,13 +2,17 @@
 SRC service LAN of section 5.5."""
 
 from repro.topology.generators import (
+    TOPOLOGY_FAMILIES,
     TopologySpec,
+    dcell,
     expected_tree,
+    fat_tree,
     line,
     mesh,
     random_regular,
     resolve_topology,
     ring,
+    topology_names,
     torus,
     tree,
     from_edges,
@@ -19,8 +23,12 @@ from repro.topology.src_lan import src_service_lan
 __all__ = [
     "InstallationPlan",
     "plan_installation",
+    "TOPOLOGY_FAMILIES",
     "TopologySpec",
+    "dcell",
     "expected_tree",
+    "fat_tree",
+    "topology_names",
     "line",
     "mesh",
     "random_regular",

@@ -186,10 +186,115 @@ def random_regular(
     return from_edges(edges, n=n, uids=uids, name=f"random-{n}d{degree}s{seed}")
 
 
+def fat_tree(k: int, uids: Optional[List[Uid]] = None) -> TopologySpec:
+    """A three-tier fat-tree of ``k``-port switches (the data-center
+    folded Clos): ``(k/2)^2`` core switches and ``k`` pods of ``k/2``
+    aggregation plus ``k/2`` edge switches each -- ``5k^2/4`` switches
+    total (k=4: 20, k=6: 45, k=8: 80).
+
+    Index layout is deterministic: cores first, then pod by pod
+    (aggregation switches before edge switches).  Edge switches keep
+    ``k/2`` ports free for hosts; every switch-to-switch degree is at
+    most ``k``, so any even ``k`` up to ``PORTS_PER_SWITCH`` fits the
+    paper's 12-port crossbar.
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"fat-tree arity must be even and >= 2, got {k}")
+    if k > PORTS_PER_SWITCH:
+        raise ValueError(
+            f"fat-tree arity {k} exceeds {PORTS_PER_SWITCH} switch ports"
+        )
+    half = k // 2
+    cores = half * half
+    n = cores + k * k  # cores + k pods of (half agg + half edge)
+    edges = []
+    for pod in range(k):
+        base = cores + pod * k
+        agg = [base + j for j in range(half)]
+        edge = [base + half + j for j in range(half)]
+        for e in edge:
+            for a in agg:
+                edges.append((a, e))
+        # aggregation switch j serves the j-th stripe of core switches
+        for j, a in enumerate(agg):
+            for i in range(half):
+                edges.append((j * half + i, a))
+    return from_edges(edges, n=n, uids=uids, name=f"fat-tree-{k}")
+
+
+def dcell(n: int, level: int = 1, uids: Optional[List[Uid]] = None) -> TopologySpec:
+    """A DCell_level built from ``n``-server cells (Guo et al., the
+    recursively-defined data-center topology).
+
+    DCell_0 is ``n`` server nodes on one mini-switch; DCell_l combines
+    ``t_{l-1} + 1`` copies of DCell_{l-1}, giving every server one extra
+    level link (server ``i`` of cell ``j`` pairs with server ``j-1`` of
+    cell ``i``).  In an Autonet installation every node is a switch, so
+    servers appear as switches with ``1 + level`` used ports and
+    mini-switches with ``n``.  Servers take indices ``[0, t_level)``,
+    mini-switches follow.
+    """
+    if n < 2:
+        raise ValueError(f"dcell needs >= 2 servers per cell, got {n}")
+    if n > PORTS_PER_SWITCH:
+        raise ValueError(
+            f"dcell mini-switch needs {n} ports, more than {PORTS_PER_SWITCH}"
+        )
+    if not 0 <= level <= 2:
+        raise ValueError(f"dcell level must be 0, 1, or 2, got {level}")
+    if 1 + level > PORTS_PER_SWITCH:  # pragma: no cover - level cap is lower
+        raise ValueError("dcell server degree exceeds the port count")
+    # server counts per level: t_0 = n, t_l = t_{l-1} * (t_{l-1} + 1)
+    t = [n]
+    for _l in range(level):
+        t.append(t[-1] * (t[-1] + 1))
+    servers = t[level]
+    edges: List[Tuple[int, int]] = []
+
+    def build(base: int, lvl: int) -> None:
+        if lvl == 0:
+            return
+        size = t[lvl - 1]
+        for i in range(size + 1):
+            build(base + i * size, lvl - 1)
+        # the paper's connection rule: [i, j-1] -- [j, i] for i < j
+        for i in range(size):
+            for j in range(i + 1, size + 1):
+                edges.append((base + i * size + (j - 1), base + j * size + i))
+
+    build(0, level)
+    for cell in range(servers // n):  # one mini-switch per DCell_0
+        switch = servers + cell
+        for s in range(n):
+            edges.append((cell * n + s, switch))
+    total = servers + servers // n
+    return from_edges(edges, n=total, uids=uids, name=f"dcell-{n}l{level}")
+
+
+#: (canonical example, description) per resolvable topology family --
+#: rendered by CLI usage listings and the resolve_topology error message
+TOPOLOGY_FAMILIES: Tuple[Tuple[str, str], ...] = (
+    ("torus-3x4", "R x C torus (the paper's service-network shape)"),
+    ("mesh-2x3", "R x C mesh without wraparound"),
+    ("ring-8", "N-switch ring"),
+    ("line-5", "N-switch line"),
+    ("tree-d2f3", "complete tree, depth D fanout F"),
+    ("random-16d3s5", "random connected graph, N nodes degree D seed S"),
+    ("fat-tree-4", "three-tier fat-tree of even-K-port switches"),
+    ("dcell-3l1", "DCell_L of N-server cells"),
+    ("src-lan-30", "the 30-switch SRC service LAN of section 5.5"),
+)
+
+
+def topology_names() -> List[str]:
+    """Canonical example names, one per resolvable family."""
+    return [example for example, _desc in TOPOLOGY_FAMILIES]
+
+
 def resolve_topology(name: str) -> TopologySpec:
     """Build a spec from its canonical name: ``torus-3x4``, ``mesh-2x3``,
-    ``ring-8``, ``line-5``, ``tree-d2f3``, ``random-16d3s5``, or
-    ``src-lan-30``.
+    ``ring-8``, ``line-5``, ``tree-d2f3``, ``random-16d3s5``,
+    ``fat-tree-4``, ``dcell-3l1``, or ``src-lan-30``.
 
     Every generator names its spec this way, so ``resolve_topology(
     spec.name)`` round-trips; CLIs (chaos campaigns, benches) use it to
@@ -211,15 +316,15 @@ def resolve_topology(name: str) -> TopologySpec:
             r"^(random)-(\d+)d(\d+)s(\d+)$",
             lambda m: random_regular(int(m[2]), degree=int(m[3]), seed=int(m[4])),
         ),
+        (r"^(fat-tree)-(\d+)$", lambda m: fat_tree(int(m[2]))),
+        (r"^(dcell)-(\d+)l(\d+)$", lambda m: dcell(int(m[2]), int(m[3]))),
     ]
     for pattern, build in patterns:
         match = re.match(pattern, name)
         if match:
             return build(match)
-    raise ValueError(
-        f"unknown topology {name!r} (try torus-3x4, mesh-2x3, ring-8, "
-        f"line-5, tree-d2f3, random-16d3s5, or src-lan-30)"
-    )
+    examples = ", ".join(topology_names())
+    raise ValueError(f"unknown topology {name!r} (try {examples})")
 
 
 def expected_tree(spec: TopologySpec, host_ports: Optional[Dict[int, List[int]]] = None) -> TopologyMap:

@@ -71,11 +71,13 @@ def test_render_is_readable():
 
 
 def test_all_sections_render_end_to_end():
-    """ISSUE 5/6 satellite: every doctor section -- telemetry, flight,
-    staticcheck, campaign, timeseries, and the new in-band path
-    telemetry -- renders on a torus-3x4 run without raising."""
+    """ISSUE 5/6/8 satellite: every doctor section -- telemetry, flight,
+    staticcheck, campaign, timeseries, in-band path telemetry, and the
+    control-plane cost ledger -- renders on a torus-3x4 run without
+    raising."""
     from repro.analysis.doctor import (
         campaign_report,
+        control_report,
         flight_report,
         path_report,
         staticcheck_report,
@@ -86,7 +88,7 @@ def test_all_sections_render_end_to_end():
 
     net = Network(
         torus(3, 4), seed=0, telemetry=True, flight=True, profile=True,
-        timeseries=True, inband=True,
+        timeseries=True, inband=True, control=True,
     )
     assert net.run_until_converged(timeout_ns=60 * SEC)
     net.cut_link(0, 1)
@@ -95,16 +97,22 @@ def test_all_sections_render_end_to_end():
     dashboard = telemetry_dashboard(net)
     assert "telemetry @" in dashboard
     assert "reconfiguration epoch" in dashboard
-    # the dashboard folds in the flight, timeseries, and path-telemetry
-    # sections when they are on
+    # the dashboard folds in the flight, timeseries, path-telemetry, and
+    # control-accounting sections when they are on
     assert "flight recorder:" in dashboard
     assert "timeseries:" in dashboard
     assert "path telemetry:" in dashboard
+    assert "control plane:" in dashboard
 
     paths = path_report(net)
     assert "path telemetry:" in paths
     # a network built without the layer degrades gracefully
     assert "off (build Network" in path_report(Network(ring(3)))
+
+    control = control_report(net)
+    assert "control packets" in control
+    assert "election" in control  # phase breakdown is present
+    assert "off (build Network" in control_report(Network(ring(3)))
 
     flight = flight_report(net)
     assert "events recorded" in flight
@@ -128,3 +136,15 @@ def test_all_sections_render_end_to_end():
 
     report = diagnose(net)
     assert report.healthy, report.render()
+
+
+def test_sweep_report_renders_scaling_curves():
+    """ISSUE 8: the doctor renders a repro.obs.sweep/1 document."""
+    from repro.analysis.doctor import sweep_report
+    from repro.obs.sweep import run_sweep
+
+    doc = run_sweep(ladder="doctor", seed=0, topologies=("ring-4", "torus-3x4"))
+    text = sweep_report(doc)
+    assert "scaling sweep:" in text
+    assert "ring-4" in text and "torus-3x4" in text
+    assert "scaling exponents" in text

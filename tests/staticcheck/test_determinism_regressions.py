@@ -21,7 +21,13 @@ from repro.core.portstate import (
 )
 from repro.net.flowcontrol import _PERMITS_TRANSMISSION
 from repro.sim.rng import RngRegistry
-from repro.topology.generators import random_regular, resolve_topology, torus
+from repro.topology.generators import (
+    dcell,
+    fat_tree,
+    random_regular,
+    resolve_topology,
+    torus,
+)
 
 MS = 1_000_000
 
@@ -55,9 +61,34 @@ def test_random_regular_golden_snapshot():
     ]
 
 
+def test_fat_tree_golden_snapshot():
+    """The data-center generators are loop-ordered, never set-ordered;
+    these exact cable prefixes break if that regresses (same argument
+    as the random_regular golden above)."""
+    spec = fat_tree(4)
+    assert len(spec.uids) == 20 and len(spec.cables) == 32
+    assert spec.cables[:6] == [
+        (4, 1, 6, 1), (5, 1, 6, 2), (4, 2, 7, 1),
+        (5, 2, 7, 2), (0, 1, 4, 3), (1, 1, 4, 4),
+    ]
+    assert spec.cables == fat_tree(4).cables
+
+
+def test_dcell_golden_snapshot():
+    spec = dcell(2, level=1)
+    assert len(spec.uids) == 9
+    assert spec.cables == [
+        (0, 1, 2, 1), (1, 1, 4, 1), (3, 1, 5, 1),
+        (0, 2, 6, 1), (1, 2, 6, 2), (2, 2, 7, 1),
+        (3, 2, 7, 2), (4, 2, 8, 1), (5, 2, 8, 2),
+    ]
+    assert spec.cables == dcell(2, level=1).cables
+
+
 def test_resolve_topology_round_trips_every_generator():
     for name in ("torus-3x4", "mesh-2x3", "ring-8", "line-5",
-                 "tree-d2f3", "random-16d3s5"):
+                 "tree-d2f3", "random-16d3s5", "fat-tree-4", "fat-tree-6",
+                 "dcell-3l1", "dcell-2l2"):
         spec = resolve_topology(name)
         again = resolve_topology(spec.name)
         assert spec.cables == again.cables, name

@@ -275,3 +275,119 @@ def test_rs305_implementation_module_exempt():
         module="repro.obs.inband", path="src/repro/obs/inband.py",
     )
     assert findings == []
+
+
+# -- RS306: control-accounting disabled pattern ---------------------------------------
+
+
+def test_rs306_chained_control_call_flagged():
+    findings = check(
+        "def send(self, msg):\n"
+        "    self.sim.control.record_send(0, 'AckMsg', 'steady', 24)\n"
+    )
+    assert rules_of(findings) == ["RS306"]
+
+
+def test_rs306_unguarded_local_flagged():
+    findings = check(
+        "def send(self, msg):\n"
+        "    acct = self.sim.control\n"
+        "    acct.record_send(0, 'AckMsg', 'steady', 24)\n"
+    )
+    assert rules_of(findings) == ["RS306"]
+
+
+def test_rs306_clean_guarded_local():
+    findings = check(
+        "def send(self, msg):\n"
+        "    acct = self.sim.control\n"
+        "    if acct is not None:\n"
+        "        acct.record_send(0, 'AckMsg', 'steady', 24)\n"
+    )
+    assert findings == []
+
+
+def test_rs306_clean_early_return_guard():
+    findings = check(
+        "def retransmit(self, pending):\n"
+        "    acct = self.sim.control\n"
+        "    if acct is None:\n"
+        "        return\n"
+        "    acct.record_retx(0, 'ConfigMsg')\n"
+    )
+    assert findings == []
+
+
+def test_rs306_all_accounting_methods_audited():
+    for method, args in (
+        ("record_send", "0, 'AckMsg', 'steady', 24"),
+        ("record_retx", "0, 'AckMsg'"),
+        ("record_srp", "'ping', 'hop'"),
+    ):
+        findings = check(
+            "def site(self):\n"
+            f"    self.sim.control.{method}({args})\n"
+        )
+        assert rules_of(findings) == ["RS306"], method
+
+
+def test_rs306_unrelated_methods_ignored():
+    # summary()/by_type() are tool-time queries, not hot-path hooks
+    findings = check(
+        "def report(self):\n"
+        "    return self.sim.control.summary()\n"
+    )
+    assert findings == []
+
+
+def test_rs306_implementation_module_exempt():
+    findings = check_source(
+        "def record_send(self, epoch, msg, phase, size):\n"
+        "    self.sim.control.record_send(epoch, msg, phase, size)\n",
+        module="repro.obs.control", path="src/repro/obs/control.py",
+    )
+    assert findings == []
+
+
+# -- RS307: literal sweep metric names ------------------------------------------------
+
+
+def test_rs307_computed_metric_name_flagged():
+    findings = check(
+        "def record(self, point, name, value):\n"
+        "    point.set_metric(name, value)\n"
+    )
+    assert rules_of(findings) == ["RS307"]
+
+
+def test_rs307_fstring_metric_name_flagged():
+    findings = check(
+        "def record(self, sweep_point, kind):\n"
+        "    sweep_point.set_metric(f'{kind}_ns', 1.0)\n"
+    )
+    assert rules_of(findings) == ["RS307"]
+
+
+def test_rs307_concatenated_name_flagged():
+    findings = check(
+        "def record(self, point, suffix):\n"
+        "    point.set_metric('control_' + suffix, 1.0)\n"
+    )
+    assert rules_of(findings) == ["RS307"]
+
+
+def test_rs307_clean_literal_name():
+    findings = check(
+        "def record(self, point, value):\n"
+        "    point.set_metric('blackout_ns', value)\n"
+    )
+    assert findings == []
+
+
+def test_rs307_unrelated_receivers_ignored():
+    # set_metric on something that is not a sweep point is out of scope
+    findings = check(
+        "def f(gauge, name):\n"
+        "    gauge.set_metric(name, 1.0)\n"
+    )
+    assert findings == []

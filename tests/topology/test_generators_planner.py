@@ -5,12 +5,15 @@ import pytest
 
 from repro.constants import SEC
 from repro.topology import (
+    dcell,
     expected_tree,
+    fat_tree,
     line,
     mesh,
     random_regular,
     ring,
     src_service_lan,
+    topology_names,
     torus,
     tree,
 )
@@ -55,10 +58,64 @@ class TestGenerators:
             assert max(d for _n, d in g.degree()) <= 12
 
     def test_ports_never_reused(self):
-        for spec in (torus(4, 8), random_regular(20, 4, seed=2), tree(3, 3)):
+        for spec in (torus(4, 8), random_regular(20, 4, seed=2), tree(3, 3),
+                     fat_tree(6), dcell(4, level=1), dcell(2, level=2)):
             for i in range(spec.n_switches):
                 used = spec.used_ports(i)
                 assert len(used) == len(set(used)), f"{spec.name} sw{i}"
+
+    def test_fat_tree_shape(self):
+        for k, n in ((4, 20), (6, 45), (8, 80)):
+            spec = fat_tree(k)
+            g = as_graph(spec)
+            assert spec.n_switches == n
+            # k^2/4 core-agg links per pod * k pods, plus (k/2)^2 agg-edge
+            # links per pod * k pods = k^3/2 switch-to-switch links
+            assert len(spec.cables) == k**3 // 2
+            assert nx.is_connected(g)
+            assert nx.is_biconnected(nx.Graph(g))
+            assert max(d for _n, d in g.degree()) <= k
+
+    def test_fat_tree_rejects_odd_or_oversized_arity(self):
+        with pytest.raises(ValueError):
+            fat_tree(3)
+        with pytest.raises(ValueError):
+            fat_tree(14)  # more ports than the 12-port crossbar has
+
+    def test_dcell_shape(self):
+        # t_1 = n(n+1) servers plus one mini-switch per n-server cell
+        for n, total in ((2, 9), (3, 16), (4, 25)):
+            spec = dcell(n, level=1)
+            g = as_graph(spec)
+            assert spec.n_switches == total
+            assert nx.is_connected(g)
+            assert nx.is_biconnected(nx.Graph(g))
+        # level 2 recursion: t_2 = t_1(t_1+1) = 42 servers + 21 switches
+        spec = dcell(2, level=2)
+        assert spec.n_switches == 63
+        assert nx.is_biconnected(nx.Graph(as_graph(spec)))
+
+    def test_dcell_level_zero_is_a_star(self):
+        spec = dcell(4, level=0)
+        g = as_graph(spec)
+        assert spec.n_switches == 5
+        assert not nx.is_biconnected(nx.Graph(g))  # the mini-switch is a cut vertex
+
+    def test_dcell_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            dcell(1)
+        with pytest.raises(ValueError):
+            dcell(13)
+        with pytest.raises(ValueError):
+            dcell(3, level=3)
+
+    def test_topology_names_all_resolve(self):
+        from repro.topology import resolve_topology
+
+        names = topology_names()
+        assert "fat-tree-4" in names and "dcell-3l1" in names
+        for name in names:
+            assert resolve_topology(name).n_switches > 0, name
 
     def test_expected_tree_matches_protocol_root(self):
         spec = ring(5)
