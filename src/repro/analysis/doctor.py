@@ -434,6 +434,14 @@ def staticcheck_report(roots=("src",), baseline_path=None) -> str:
         lines.append(
             f"    stale baseline entry: {entry['rule']} at {entry['path']}"
         )
+    inventory = result.artifacts.get("shared_state")
+    if inventory is not None:
+        written = sum(1 for entry in inventory if "writes" in entry)
+        lines.append(
+            f"  shared state: {len(inventory)} module-level object(s) "
+            f"reachable from chaos/handler entry points, {written} written "
+            f"({'sharding-safe' if not written else 'NOT sharding-safe'})"
+        )
     return "\n".join(lines)
 
 

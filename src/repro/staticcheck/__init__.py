@@ -12,6 +12,16 @@ nightly chaos campaign) to flake:
   label cardinality, the one-load + ``None``-test recorder pattern.
 * **RS4xx mutable-state hygiene** -- no mutable defaults, no hot-path
   module globals.
+* **RS5xx whole-program dataflow** -- nondeterminism tainting the event
+  schedule across function and module boundaries; port-FSM conformance.
+* **RS6xx parallel readiness** -- module-level mutable state reachable
+  from chaos campaigns and event handlers (the sharding gate).
+
+The RS1xx-RS4xx families are per-file passes; RS5xx/RS6xx run over a
+whole-program call graph (:mod:`repro.staticcheck.dataflow`).  Results
+are cached incrementally by content hash
+(:mod:`repro.staticcheck.cache`), so warm runs re-analyze only what
+changed.
 
 Run it with ``python -m repro.staticcheck src``; grandfather intentional
 exceptions in ``staticcheck-baseline.json`` (one justification each).
@@ -23,23 +33,32 @@ from repro.staticcheck.baseline import (
     Suppression,
     find_default_baseline,
 )
+from repro.staticcheck.cache import ResultCache
 from repro.staticcheck.framework import (
+    RULESET_VERSION,
     Finding,
     ParsedModule,
     Pass,
+    ProjectPass,
     Rule,
     SuiteResult,
     all_rules,
     check_module,
+    check_project_sources,
     check_source,
     default_passes,
+    default_project_passes,
+    parse_sources,
     run_suite,
+    suppression_in_scope,
 )
 from repro.staticcheck.report import (
     SCHEMA,
     SchemaError,
     build_report,
+    cache_line,
     read_report,
+    render_github,
     render_text,
     validate_report,
     write_report,
@@ -51,6 +70,9 @@ __all__ = [
     "Finding",
     "ParsedModule",
     "Pass",
+    "ProjectPass",
+    "RULESET_VERSION",
+    "ResultCache",
     "Rule",
     "SCHEMA",
     "SchemaError",
@@ -58,13 +80,19 @@ __all__ = [
     "Suppression",
     "all_rules",
     "build_report",
+    "cache_line",
     "check_module",
+    "check_project_sources",
     "check_source",
     "default_passes",
+    "default_project_passes",
     "find_default_baseline",
+    "parse_sources",
     "read_report",
+    "render_github",
     "render_text",
     "run_suite",
+    "suppression_in_scope",
     "validate_report",
     "write_report",
 ]

@@ -1,23 +1,30 @@
 """CLI: ``python -m repro.staticcheck [paths...]``.
 
-Exit codes: 0 clean (baselined findings allowed), 1 active findings or
-parse errors, 2 usage/configuration errors.
+Exit codes: 0 clean (baselined findings allowed), 1 active findings,
+parse errors, or stale baseline entries, 2 usage/configuration errors.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.staticcheck.baseline import (
     Baseline,
     BaselineError,
     find_default_baseline,
 )
+from repro.staticcheck.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.staticcheck.framework import all_rules, run_suite
-from repro.staticcheck.report import build_report, render_text, write_report
+from repro.staticcheck.report import (
+    build_report,
+    render_github,
+    render_text,
+    write_report,
+)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -42,8 +49,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="ignore any baseline: report every finding",
     )
     parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="rewrite the baseline file without in-scope stale entries",
+    )
+    parser.add_argument(
         "--select", metavar="RULES",
         help="comma-separated rule ids or prefixes (e.g. RS1,RS203)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "github"), default="text",
+        help="output format: terminal text or GitHub ::error annotations",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the incremental result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help=f"incremental cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--shared-state", metavar="FILE",
+        help="write the RS6xx shared-state inventory (JSON) here",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -73,13 +100,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     baseline = None
+    baseline_path: Optional[Path] = None
     if not args.no_baseline:
-        baseline_path = (
-            Path(args.baseline) if args.baseline else find_default_baseline()
-        )
-        if args.baseline and not baseline_path.is_file():
-            print(f"error: baseline not found: {baseline_path}", file=sys.stderr)
-            return 2
+        if args.baseline:
+            baseline_path = Path(args.baseline)
+            if not baseline_path.is_file():
+                print(f"error: baseline not found: {baseline_path}",
+                      file=sys.stderr)
+                return 2
+        else:
+            baseline_path = find_default_baseline()
         if baseline_path is not None:
             try:
                 baseline = Baseline.load(baseline_path)
@@ -91,16 +121,56 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.select:
         select = [s.strip() for s in args.select.split(",") if s.strip()]
 
+    cache = ResultCache(
+        root=args.cache_dir,
+        enabled=not args.no_cache,
+        scope=[str(p) for p in args.paths],
+    )
     result = run_suite([Path(p) for p in args.paths], select=select,
-                       baseline=baseline)
+                       baseline=baseline, cache=cache)
+
+    pruned = 0
+    if args.prune_baseline and result.stale_suppressions \
+            and baseline_path is not None:
+        pruned = _prune_baseline(baseline_path, result.stale_suppressions)
+        result.stale_suppressions = []
+
     if args.json:
         write_report(build_report(result), args.json)
+    if args.shared_state:
+        inventory = result.artifacts.get("shared_state", [])
+        with open(args.shared_state, "w", encoding="utf-8") as fh:
+            json.dump({"schema": "repro.staticcheck-shared-state/1",
+                       "shared_state": inventory}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
 
-    text = render_text(result, verbose=args.verbose)
-    if args.quiet:
-        text = text.splitlines()[-1]
+    if args.format == "github":
+        text = render_github(result)
+    else:
+        text = render_text(result, verbose=args.verbose)
+        if args.quiet:
+            text = text.splitlines()[-1]
+    if pruned:
+        entries = "entry" if pruned == 1 else "entries"
+        text = f"pruned {pruned} stale baseline {entries} from " \
+               f"{baseline_path}\n" + text
     print(text)
     return 0 if result.ok else 1
+
+
+def _prune_baseline(path: Path, stale: List[Dict[str, str]]) -> int:
+    """Rewrite the baseline file minus the given stale entries."""
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    dead = {(s["rule"], s["path"]) for s in stale}
+    entries = doc.get("suppressions", [])
+    kept = [
+        entry for entry in entries
+        if (entry.get("rule"),
+            str(entry.get("path", "")).replace("\\", "/")) not in dead
+    ]
+    doc["suppressions"] = kept
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return len(entries) - len(kept)
 
 
 if __name__ == "__main__":

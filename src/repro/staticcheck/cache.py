@@ -1,0 +1,178 @@
+"""Incremental result cache: re-analyze only what changed.
+
+``.staticcheck-cache/cache.json`` stores, keyed by **content hash**:
+
+* per file -- the findings of the per-file passes (RS000 parse errors
+  included), valid as long as the file's bytes are unchanged;
+* per tree -- the whole-program findings and artifacts of the project
+  passes, keyed by a digest over *every* file's ``(path, hash)`` pair,
+  since one changed file can change any cross-file flow.
+
+Both keys mix in :data:`~repro.staticcheck.framework.RULESET_VERSION`
+(bumped whenever a rule changes behavior) and the interpreter's
+major.minor (the :mod:`ast` grammar changes between versions), so a
+rule edit or interpreter switch invalidates everything at once.
+Baseline matching happens *after* retrieval, so editing the baseline
+never needs a cold run.
+
+A fully warm run -- nothing changed -- skips parsing entirely, which is
+what makes the warm path a small fraction of the cold one.  The cache
+file is rewritten on every run holding only the files just scanned, so
+it cannot grow without bound.  Corrupt or version-skewed caches are
+discarded silently: the cache is an accelerator, never a correctness
+dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.staticcheck.framework import RULESET_VERSION, Finding
+
+CACHE_SCHEMA = "repro.staticcheck-cache/1"
+DEFAULT_CACHE_DIR = ".staticcheck-cache"
+
+
+def finding_to_json(finding: Finding) -> Dict[str, Any]:
+    doc = finding.to_json()
+    doc.pop("justification", None)  # baseline state is per-run, not cached
+    return doc
+
+
+def finding_from_json(doc: Dict[str, Any]) -> Finding:
+    return Finding(
+        rule=doc["rule"],
+        path=doc["path"],
+        line=doc["line"],
+        col=doc["col"],
+        message=doc["message"],
+        hint=doc.get("hint", ""),
+    )
+
+
+class ResultCache:
+    """Content-hash-keyed findings store under ``.staticcheck-cache/``."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR,
+                 enabled: bool = True,
+                 scope: Sequence[str] = ("src",)) -> None:
+        self.root = Path(root)
+        self.enabled = enabled
+        # one cache file per scan-root set, so `staticcheck src` and
+        # `staticcheck tests benchmarks` do not evict each other
+        scope_key = hashlib.sha256(
+            "\x00".join(sorted(str(s) for s in scope)).encode()).hexdigest()[:12]
+        self._name = f"cache-{scope_key}.json"
+        self._files: Dict[str, Dict[str, Any]] = {}
+        self._project: Optional[Dict[str, Any]] = None
+        self._dirty = False
+        if enabled:
+            self._load()
+
+    @property
+    def path(self) -> Path:
+        return self.root / self._name
+
+    def _salt(self) -> str:
+        return f"{RULESET_VERSION}/py{sys.version_info[0]}.{sys.version_info[1]}"
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("schema") != CACHE_SCHEMA \
+                or raw.get("salt") != self._salt():
+            return  # version bump or corruption: start cold
+        files = raw.get("files")
+        if isinstance(files, dict):
+            self._files = files
+        project = raw.get("project")
+        if isinstance(project, dict):
+            self._project = project
+
+    # -- keys -----------------------------------------------------------------------
+
+    def digest(self, text: str) -> str:
+        return hashlib.sha256(text.encode("utf-8", "replace")).hexdigest()
+
+    def project_key(self, digests: Sequence[Tuple[str, str]]) -> str:
+        hasher = hashlib.sha256(self._salt().encode())
+        for relpath, digest in digests:
+            hasher.update(f"{relpath}\x00{digest}\x00".encode())
+        return hasher.hexdigest()
+
+    # -- per-file results -----------------------------------------------------------
+
+    def get_file(self, relpath: str, digest: str) -> Optional[List[Finding]]:
+        entry = self._files.get(relpath)
+        if not isinstance(entry, dict) or entry.get("digest") != digest:
+            return None
+        try:
+            return [finding_from_json(doc) for doc in entry["findings"]]
+        except (KeyError, TypeError):
+            return None
+
+    def put_file(self, relpath: str, digest: str,
+                 findings: Sequence[Finding]) -> None:
+        self._files[relpath] = {
+            "digest": digest,
+            "findings": [finding_to_json(f) for f in findings],
+        }
+        self._dirty = True
+
+    # -- whole-program results ------------------------------------------------------
+
+    def get_project(self, key: Optional[str],
+                    ) -> Optional[Tuple[List[Finding], Dict[str, Any]]]:
+        entry = self._project
+        if key is None or not isinstance(entry, dict) or entry.get("key") != key:
+            return None
+        try:
+            findings = [finding_from_json(doc) for doc in entry["findings"]]
+            artifacts = dict(entry.get("artifacts") or {})
+        except (KeyError, TypeError):
+            return None
+        return findings, artifacts
+
+    def put_project(self, key: Optional[str], findings: Sequence[Finding],
+                    artifacts: Dict[str, Any]) -> None:
+        if key is None:
+            return
+        self._project = {
+            "key": key,
+            "findings": [finding_to_json(f) for f in findings],
+            "artifacts": artifacts,
+        }
+        self._dirty = True
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save(self, digests: Sequence[Tuple[str, str]]) -> None:
+        """Write back, keeping only the files of the run just finished."""
+        if not self.enabled:
+            return
+        current = {relpath for relpath, _ in digests}
+        self._files = {rel: entry for rel, entry in self._files.items()
+                       if rel in current}
+        doc = {
+            "schema": CACHE_SCHEMA,
+            "salt": self._salt(),
+            "files": dict(sorted(self._files.items())),
+            "project": self._project,
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            gitignore = self.root / ".gitignore"
+            if not gitignore.exists():
+                gitignore.write_text("*\n", encoding="utf-8")
+            self.path.write_text(
+                json.dumps(doc, indent=None, sort_keys=True) + "\n",
+                encoding="utf-8")
+        except OSError:
+            pass  # read-only checkout: run cold every time
+        self._dirty = False

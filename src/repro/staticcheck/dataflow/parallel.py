@@ -1,0 +1,325 @@
+"""RS6xx: parallel-readiness analysis for process-pool sharding.
+
+ROADMAP item 4 shards chaos campaigns across a process pool with
+deterministic per-shard seed forking.  That is only sound if a campaign
+run touches no module-level mutable state: forked workers each get a
+copy-on-write snapshot, so a write that was shared in-process silently
+diverges across shards (and on spawn-based pools it is simply lost).
+
+This pass computes, over the whole-program call graph, the set of
+module-level mutable objects transitively **read or written** from
+
+* ``repro.chaos`` campaign entry points (every function and method the
+  chaos package defines), and
+* event handlers (every method of a class in the hot component
+  packages: ``repro.net`` / ``repro.core`` / ``repro.sim`` /
+  ``repro.host``),
+
+and emits a machine-readable **shared-state inventory** (the report's
+``dataflow.shared_state`` section) that directly gates the sharding
+work: an empty ``writes`` section is the green light.
+
+Rules (writes only -- read-only module state is fork-safe):
+
+* **RS601** -- module-level mutable state written from code reachable
+  from a chaos campaign entry point.
+* **RS602** -- module-level mutable state written from code reachable
+  from an event handler: two Networks in one process would couple.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.staticcheck.dataflow.callgraph import FunctionInfo, Project, iter_calls
+from repro.staticcheck.framework import Finding, ProjectPass, Rule
+from repro.staticcheck.hygiene import _mutable_kind
+
+#: package whose functions/methods are campaign entry points
+CHAOS_PACKAGE = "repro.chaos"
+
+#: packages whose class methods run inside the event loop
+HANDLER_PACKAGES = ("repro.net", "repro.core", "repro.sim", "repro.host")
+
+#: method names that mutate their receiver in place
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "sort", "reverse",
+    "add", "discard", "update", "setdefault", "popitem",
+    "appendleft", "extendleft", "rotate",
+})
+
+#: bound on reachability propagation rounds over the call graph
+MAX_ROUNDS = 30
+
+#: cap on names listed per inventory entry (counts stay exact)
+LIST_CAP = 8
+
+
+@dataclass(frozen=True)
+class GlobalVar:
+    """One module-level mutable binding."""
+
+    qname: str  # "repro.obs.registry.DEFAULT"
+    module: str
+    name: str
+    kind: str  # "dict", "list", ...
+    relpath: str
+    line: int
+
+
+def _in_package(module: str, *packages: str) -> bool:
+    return any(module == pkg or module.startswith(pkg + ".") for pkg in packages)
+
+
+def collect_globals(project: Project) -> Dict[str, GlobalVar]:
+    """Every module-level mutable container binding in the project."""
+    out: Dict[str, GlobalVar] = {}
+    for module in sorted(project.modules):
+        parsed = project.modules[module]
+        for stmt in parsed.tree.body:
+            target: Optional[ast.Name] = None
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                target, value = stmt.target, stmt.value
+            if target is None or value is None or target.id == "__all__":
+                continue
+            kind = _mutable_kind(value)
+            if kind is None:
+                continue
+            var = GlobalVar(
+                qname=f"{module}.{target.id}",
+                module=module,
+                name=target.id,
+                kind=kind,
+                relpath=parsed.relpath,
+                line=stmt.lineno,
+            )
+            out[var.qname] = var
+    return out
+
+
+#: access map: global qname -> mode ("read"/"write") -> accessor qname (min)
+Accesses = Dict[Tuple[str, str], str]
+
+
+class _AccessCollector:
+    """Direct global reads/writes of one function body."""
+
+    def __init__(self, project: Project, globals_: Dict[str, GlobalVar],
+                 info: FunctionInfo) -> None:
+        self.project = project
+        self.globals = globals_
+        self.info = info
+        self.declared_global: Set[str] = set()
+        self.local_names: Set[str] = set()
+        self.accesses: Accesses = {}
+        self._scan_scope()
+
+    def _scan_scope(self) -> None:
+        for node in ast.walk(self.info.node):
+            if isinstance(node, ast.Global):
+                self.declared_global.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                self.local_names.add(node.id)
+            elif isinstance(node, ast.arg):
+                self.local_names.add(node.arg)
+        self.local_names -= self.declared_global
+
+    def _module_global(self, name: str) -> Optional[str]:
+        if name in self.local_names:
+            return None
+        qname = f"{self.info.module}.{name}"
+        return qname if qname in self.globals else None
+
+    def _foreign_global(self, node: ast.AST) -> Optional[str]:
+        """``othermod.NAME`` resolved through imports to a known global."""
+        if not isinstance(node, ast.Attribute):
+            return None
+        dotted = self.project.external_for_dotted(self.info.module, node)
+        if dotted is not None and dotted in self.globals:
+            return dotted
+        return None
+
+    def note(self, qname: Optional[str], mode: str) -> None:
+        if qname is not None:
+            key = (qname, mode)
+            if key not in self.accesses or self.info.qname < self.accesses[key]:
+                self.accesses[key] = self.info.qname
+
+    def collect(self) -> Accesses:
+        for node in ast.walk(self.info.node):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                self.note(self._module_global(node.id), "read")
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store) \
+                    and node.id in self.declared_global:
+                self.note(self._module_global_declared(node.id), "write")
+            elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                self.note(self._foreign_global(node), "read")
+            elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Store):
+                self.note(self._foreign_global(node), "write")
+            elif isinstance(node, (ast.Subscript, ast.Delete)):
+                self._subscript(node)
+        for call in iter_calls(self.info.node):
+            self._mutator_call(call)
+        return self.accesses
+
+    def _module_global_declared(self, name: str) -> Optional[str]:
+        qname = f"{self.info.module}.{name}"
+        return qname if qname in self.globals else None
+
+    def _subscript(self, node: ast.AST) -> None:
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Subscript) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            targets.append(node.value)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    targets.append(target.value)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self.note(self._module_global(target.id), "write")
+            else:
+                self.note(self._foreign_global(target), "write")
+
+    def _mutator_call(self, call: ast.Call) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in MUTATOR_METHODS:
+            return
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            self.note(self._module_global(receiver.id), "write")
+        else:
+            self.note(self._foreign_global(receiver), "write")
+
+
+class ParallelReadinessPass(ProjectPass):
+    name = "parallel-readiness"
+    rules = (
+        Rule(
+            id="RS601",
+            title="chaos campaign reaches writable module-level state",
+            invariant="campaign runs are shard-independent: a process pool "
+                      "may fork them without sharing writes",
+            paper="§6.6 run independence / ROADMAP item 4 (chaos sharding)",
+            hint="move the state onto the campaign/Network object, or "
+                 "baseline it with a justification until the sharding PR",
+        ),
+        Rule(
+            id="RS602",
+            title="event handler reaches writable module-level state",
+            invariant="two Networks in one process share nothing",
+            paper="§6.6 (switches share no memory)",
+            hint="hang per-run state off a component object; module globals "
+                 "couple every simulator in the process",
+        ),
+    )
+
+    def run(self, project: Project) -> Tuple[List[Finding], Dict[str, Any]]:
+        globals_ = collect_globals(project)
+        own: Dict[str, Accesses] = {}
+        for info in project.iter_functions():
+            own[info.qname] = _AccessCollector(project, globals_, info).collect()
+
+        reach: Dict[str, Accesses] = {q: dict(a) for q, a in own.items()}
+        for _ in range(MAX_ROUNDS):
+            changed = False
+            for qname in sorted(reach):
+                mine = reach[qname]
+                for callee in project.callgraph.callees(qname):
+                    for key, accessor in reach.get(callee, {}).items():
+                        if key not in mine or accessor < mine[key]:
+                            mine[key] = accessor
+                            changed = True
+            if not changed:
+                break
+
+        chaos_entries = [
+            info.qname for info in project.iter_functions()
+            if _in_package(info.module, CHAOS_PACKAGE)
+        ]
+        handler_entries = [
+            info.qname for info in project.iter_functions()
+            if info.cls is not None and _in_package(info.module, *HANDLER_PACKAGES)
+        ]
+
+        inventory, findings = self._summarize(
+            globals_, reach, chaos_entries, handler_entries)
+        findings.sort(key=Finding.sort_key)
+        return findings, {"shared_state": inventory}
+
+    def _summarize(
+        self,
+        globals_: Dict[str, GlobalVar],
+        reach: Dict[str, Accesses],
+        chaos_entries: List[str],
+        handler_entries: List[str],
+    ) -> Tuple[List[Dict[str, Any]], List[Finding]]:
+        per_global: Dict[str, Dict[str, Dict[str, Set[str]]]] = {}
+
+        def note(var: str, mode: str, role: str, entry: str, accessor: str) -> None:
+            slot = per_global.setdefault(var, {}).setdefault(
+                mode, {"chaos": set(), "handler": set(), "accessors": set()})
+            slot[role].add(entry)
+            slot["accessors"].add(accessor)
+
+        for role, entries in (("chaos", chaos_entries), ("handler", handler_entries)):
+            for entry in entries:
+                for (var, mode), accessor in reach.get(entry, {}).items():
+                    note(var, mode, role, entry, accessor)
+
+        inventory: List[Dict[str, Any]] = []
+        findings: List[Finding] = []
+        for var_qname in sorted(per_global):
+            var = globals_[var_qname]
+            modes = per_global[var_qname]
+            entry: Dict[str, Any] = {
+                "name": var.qname,
+                "kind": var.kind,
+                "path": var.relpath,
+                "line": var.line,
+            }
+            for mode in ("read", "write"):
+                slot = modes.get(mode)
+                if slot is None:
+                    continue
+                entry[mode + "s"] = {
+                    "accessors": _capped(slot["accessors"]),
+                    "chaos_entrypoints": _capped(slot["chaos"]),
+                    "handler_entrypoints": _capped(slot["handler"]),
+                }
+            inventory.append(entry)
+            write_slot = modes.get("write")
+            if not write_slot:
+                continue
+            accessor = min(write_slot["accessors"])
+            if write_slot["chaos"]:
+                findings.append(self.finding(
+                    "RS601", var.relpath, var.line, 0,
+                    f"module-level {var.kind} {var.qname!r} is written by "
+                    f"{accessor}, reachable from chaos entry point "
+                    f"{min(write_slot['chaos'])}: campaign shards would "
+                    f"share it",
+                ))
+            if write_slot["handler"]:
+                findings.append(self.finding(
+                    "RS602", var.relpath, var.line, 0,
+                    f"module-level {var.kind} {var.qname!r} is written by "
+                    f"{accessor}, reachable from event handler "
+                    f"{min(write_slot['handler'])}: simulators in one "
+                    f"process would couple",
+                ))
+        return inventory, findings
+
+
+def _capped(names: Set[str]) -> Dict[str, Any]:
+    ordered = sorted(names)
+    return {
+        "count": len(ordered),
+        "names": ordered[:LIST_CAP],
+    }

@@ -25,13 +25,17 @@ Layout of a run:
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 #: rule id for files the parser itself rejects -- always active, never
 #: baselined away silently (a file that cannot be parsed cannot be checked)
 PARSE_ERROR_RULE = "RS000"
+
+#: bumped whenever any rule's behavior changes; invalidates the
+#: incremental result cache (:mod:`repro.staticcheck.cache`) wholesale
+RULESET_VERSION = "9.0"
 
 
 @dataclass(frozen=True)
@@ -128,6 +132,42 @@ class Pass:
             path=module.relpath,
             line=getattr(node, "lineno", 0),
             col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=rule.hint,
+        )
+
+
+class ProjectPass:
+    """Base class: a whole-program analysis over the parsed project.
+
+    Unlike :class:`Pass`, a project pass sees every module at once (via
+    the :class:`~repro.staticcheck.dataflow.callgraph.Project` model) so
+    it can follow a value through calls, returns and attribute stores
+    across files.  :meth:`run` returns its findings plus a dict of
+    machine-readable artifacts (e.g. the RS6xx shared-state inventory)
+    that the report embeds under ``dataflow``.
+    """
+
+    name = "project-base"
+    rules: Tuple[Rule, ...] = ()
+
+    def run(self, project: Any) -> Tuple[List[Finding], Dict[str, Any]]:
+        raise NotImplementedError
+
+    def rule(self, rule_id: str) -> Rule:
+        for rule in self.rules:
+            if rule.id == rule_id:
+                return rule
+        raise KeyError(rule_id)
+
+    def finding(self, rule_id: str, path: str, line: int, col: int,
+                message: str) -> Finding:
+        rule = self.rule(rule_id)
+        return Finding(
+            rule=rule_id,
+            path=path,
+            line=line,
+            col=col,
             message=message,
             hint=rule.hint,
         )
@@ -262,9 +302,12 @@ def display_path(path: Path) -> str:
         return path.as_posix()
 
 
-def parse_module(path: Path) -> Tuple[Optional[ParsedModule], Optional[Finding]]:
+def parse_module(path: Path,
+                 source: Optional[str] = None,
+                 ) -> Tuple[Optional[ParsedModule], Optional[Finding]]:
     """Parse one file; on a syntax error return an RS000 finding instead."""
-    source = path.read_text(encoding="utf-8", errors="replace")
+    if source is None:
+        source = path.read_text(encoding="utf-8", errors="replace")
     relpath = display_path(path)
     try:
         tree = ast.parse(source, filename=str(path))
@@ -298,7 +341,18 @@ def default_passes() -> List[Pass]:
     return [DeterminismPass(), PurityPass(), ObsDisciplinePass(), HygienePass()]
 
 
-def all_rules(passes: Optional[Sequence[Pass]] = None) -> List[Rule]:
+def default_project_passes() -> List[ProjectPass]:
+    from repro.staticcheck.dataflow import (
+        ParallelReadinessPass,
+        PortFsmPass,
+        TaintPass,
+    )
+
+    return [TaintPass(), PortFsmPass(), ParallelReadinessPass()]
+
+
+def all_rules(passes: Optional[Sequence[Pass]] = None,
+              project_passes: Optional[Sequence[ProjectPass]] = None) -> List[Rule]:
     rules: List[Rule] = [
         Rule(
             id=PARSE_ERROR_RULE,
@@ -310,6 +364,10 @@ def all_rules(passes: Optional[Sequence[Pass]] = None) -> List[Rule]:
     ]
     for pass_ in passes if passes is not None else default_passes():
         rules.extend(pass_.rules)
+    projects = project_passes if project_passes is not None \
+        else default_project_passes()
+    for project_pass in projects:
+        rules.extend(project_pass.rules)
     return sorted(rules, key=lambda r: r.id)
 
 
@@ -319,13 +377,21 @@ class SuiteResult:
 
     findings: List[Finding]  # active: fail the run
     suppressed: List[Finding]  # matched a baseline entry
-    stale_suppressions: List[Dict[str, str]]  # baseline entries that matched nothing
+    stale_suppressions: List[Dict[str, str]]  # in-scope baseline entries that matched nothing
     files_scanned: int
     roots: List[str]
+    #: machine-readable side outputs of project passes (e.g. the RS6xx
+    #: shared-state inventory), keyed by artifact name
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+    #: incremental-cache accounting for the report's cache line; None
+    #: when no cache was offered to the run
+    cache_stats: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
-        return not self.findings
+        # stale suppressions fail the run: a baseline may only shrink,
+        # and a dead entry means a fix landed without its cleanup
+        return not self.findings and not self.stale_suppressions
 
     def by_rule(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -361,24 +427,176 @@ def check_source(source: str, module: str = "repro.fixture",
     return check_module(parsed, passes=passes)
 
 
+def parse_sources(sources: Dict[str, str]) -> List[ParsedModule]:
+    """Parse an in-memory ``{module name: source}`` mapping.
+
+    The multi-module analogue of :func:`check_source`'s single snippet:
+    fixture projects for the dataflow passes are built from a dict
+    without touching the filesystem.  Paths are synthesized as
+    ``src/<module path>.py``.
+    """
+    parsed: List[ParsedModule] = []
+    for module in sorted(sources):
+        path = "src/" + module.replace(".", "/") + ".py"
+        parsed.append(ParsedModule(
+            path=Path(path),
+            relpath=path,
+            module=module,
+            tree=ast.parse(sources[module]),
+            source=sources[module],
+        ))
+    return parsed
+
+
+def check_project_sources(
+    sources: Dict[str, str],
+    project_passes: Optional[Sequence[ProjectPass]] = None,
+) -> Tuple[List[Finding], Dict[str, Any]]:
+    """Run project passes over an in-memory fixture project.
+
+    Returns ``(findings, artifacts)``, findings sorted.  The unit-test
+    entry point for the RS5xx/RS6xx whole-program rules.
+    """
+    modules = parse_sources(sources)
+    from repro.staticcheck.dataflow import build_project
+
+    project = build_project(modules)
+    passes = list(project_passes) if project_passes is not None \
+        else default_project_passes()
+    findings: List[Finding] = []
+    artifacts: Dict[str, Any] = {}
+    for project_pass in passes:
+        pass_findings, pass_artifacts = project_pass.run(project)
+        findings.extend(pass_findings)
+        artifacts.update(pass_artifacts)
+    return sorted(findings, key=Finding.sort_key), artifacts
+
+
+def suppression_in_scope(rule: str, path: str, roots: Sequence[str],
+                         prefixes: Sequence[str]) -> bool:
+    """Whether a baseline entry could possibly match in this run.
+
+    Stale detection (and :option:`--prune-baseline`) must only judge
+    entries the run actually looked at: an ``src/`` suppression is not
+    stale just because this invocation scanned ``tests/``, and an RS101
+    entry is not stale under ``--select RS4``.
+    """
+    if prefixes and not (rule == PARSE_ERROR_RULE
+                         or any(rule.startswith(p) for p in prefixes)):
+        return False
+    entry = path.replace("\\", "/").strip("/")
+    for root in roots:
+        r = str(root).replace("\\", "/").strip("/")
+        if r in ("", "."):
+            return True
+        # suffix-tolerant containment, mirroring Baseline path matching:
+        # a scan rooted at "/abs/src" still covers "src/repro/x.py"
+        parts = r.split("/")
+        for i in range(len(parts)):
+            suffix = "/".join(parts[i:])
+            if entry == suffix or entry.startswith(suffix + "/"):
+                return True
+    return False
+
+
 def run_suite(
     paths: Sequence[Path],
     passes: Optional[Sequence[Pass]] = None,
     select: Optional[Iterable[str]] = None,
     baseline: Optional[Any] = None,  # Baseline; Any avoids a cycle
+    project_passes: Optional[Sequence[ProjectPass]] = None,
+    cache: Optional[Any] = None,  # ResultCache; Any avoids a cycle
 ) -> SuiteResult:
-    """Run every pass over every file under ``paths``."""
+    """Run every per-file pass and every project pass under ``paths``.
+
+    ``project_passes`` defaults to :func:`default_project_passes` when
+    both pass lists are left at their defaults; a caller customizing
+    ``passes`` (rule unit tests, the doctor's quick modes) gets no
+    project analysis unless it asks.  The ``cache`` (a
+    :class:`repro.staticcheck.cache.ResultCache`) is consulted only for
+    all-default runs -- cached results are keyed by file content, so a
+    custom pass list would read stale findings.
+    """
+    default_local = passes is None
     passes = list(passes) if passes is not None else default_passes()
+    if project_passes is None:
+        project_list: List[ProjectPass] = (
+            default_project_passes() if default_local else []
+        )
+    else:
+        project_list = list(project_passes)
+    use_cache = (cache is not None and getattr(cache, "enabled", False)
+                 and default_local and project_passes is None)
     prefixes = tuple(select) if select else ()
     files = discover([Path(p) for p in paths])
-    findings: List[Finding] = []
+
+    sources: Dict[Path, str] = {}
+    digests: List[Tuple[str, str]] = []  # (relpath, content digest) per file
     for path in files:
-        parsed, parse_error = parse_module(path)
-        if parse_error is not None:
-            findings.append(parse_error)
-            continue
-        assert parsed is not None
-        findings.extend(check_module(parsed, passes=passes))
+        text = path.read_text(encoding="utf-8", errors="replace")
+        sources[path] = text
+        digests.append((display_path(path), cache.digest(text) if use_cache else ""))
+
+    findings: List[Finding] = []
+    project_findings: List[Finding] = []
+    artifacts: Dict[str, Any] = {}
+    stats: Dict[str, Any] = {
+        "enabled": bool(use_cache),
+        "files": len(files),
+        "file_hits": 0,
+        "project_hit": False,
+    }
+
+    project_key = cache.project_key(digests) if use_cache else None
+    cached_project = cache.get_project(project_key) if use_cache else None
+    cached_files: Dict[Path, List[Finding]] = {}
+    if use_cache:
+        for (rel, digest), path in zip(digests, files):
+            hit = cache.get_file(rel, digest)
+            if hit is not None:
+                cached_files[path] = hit
+
+    if cached_project is not None and len(cached_files) == len(files):
+        # fully warm: every per-file result and the whole-program result
+        # are reusable, so nothing needs parsing at all
+        stats["file_hits"] = len(files)
+        stats["project_hit"] = True
+        for path in files:
+            findings.extend(cached_files[path])
+        project_findings, artifacts = cached_project
+    else:
+        parsed_modules: List[ParsedModule] = []
+        for (rel, digest), path in zip(digests, files):
+            parsed, parse_error = parse_module(path, source=sources[path])
+            hit = cached_files.get(path)
+            if hit is not None:
+                stats["file_hits"] += 1
+                findings.extend(hit)
+            else:
+                found = [parse_error] if parse_error is not None \
+                    else check_module(parsed, passes=passes)  # type: ignore[arg-type]
+                if use_cache:
+                    cache.put_file(rel, digest, found)
+                findings.extend(found)
+            if parsed is not None:
+                parsed_modules.append(parsed)
+        if cached_project is not None:
+            stats["project_hit"] = True
+            project_findings, artifacts = cached_project
+        elif project_list:
+            from repro.staticcheck.dataflow import build_project
+
+            project = build_project(parsed_modules)
+            for project_pass in project_list:
+                pass_findings, pass_artifacts = project_pass.run(project)
+                project_findings.extend(pass_findings)
+                artifacts.update(pass_artifacts)
+            if use_cache:
+                cache.put_project(project_key, project_findings, artifacts)
+        if use_cache:
+            cache.save(digests)
+
+    findings = findings + project_findings
     if prefixes:
         findings = [
             f for f in findings
@@ -386,6 +604,7 @@ def run_suite(
         ]
     findings.sort(key=Finding.sort_key)
 
+    roots = [display_path(Path(p)) for p in paths]
     active: List[Finding] = []
     suppressed: List[Finding] = []
     stale: List[Dict[str, str]] = []
@@ -400,6 +619,7 @@ def run_suite(
         stale = [
             {"rule": s.rule, "path": s.path, "justification": s.justification}
             for s in baseline.stale()
+            if suppression_in_scope(s.rule, s.path, roots, prefixes)
         ]
     else:
         active = findings
@@ -408,5 +628,7 @@ def run_suite(
         suppressed=suppressed,
         stale_suppressions=stale,
         files_scanned=len(files),
-        roots=[display_path(Path(p)) for p in paths],
+        roots=roots,
+        artifacts=artifacts,
+        cache_stats=stats if cache is not None else None,
     )

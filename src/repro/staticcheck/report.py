@@ -26,7 +26,7 @@ def build_report(result: SuiteResult,
                  passes: Optional[Sequence[Pass]] = None) -> Dict[str, Any]:
     """A JSON-ready document for one suite run."""
     rules: List[Rule] = all_rules(passes)
-    return {
+    doc: Dict[str, Any] = {
         "schema": SCHEMA,
         "tool": "repro.staticcheck",
         "roots": list(result.roots),
@@ -52,6 +52,13 @@ def build_report(result: SuiteResult,
             "ok": result.ok,
         },
     }
+    if result.artifacts:
+        # whole-program side outputs: the RS6xx shared-state inventory,
+        # the extracted port FSM -- machine-readable gates for later PRs
+        doc["dataflow"] = result.artifacts
+    if result.cache_stats is not None:
+        doc["cache"] = dict(result.cache_stats)
+    return doc
 
 
 def write_report(doc: Dict[str, Any], path: Union[str, Path]) -> None:
@@ -127,7 +134,9 @@ def render_text(result: SuiteResult, verbose: bool = False) -> str:
     for entry in result.stale_suppressions:
         lines.append(
             f"stale baseline entry: {entry['rule']} at {entry['path']} matched "
-            f"nothing (delete it?)")
+            f"nothing (delete it, or run --prune-baseline)")
+    if result.cache_stats is not None:
+        lines.append(cache_line(result))
     verdict = "OK" if result.ok else "FAIL"
     by_rule = ", ".join(f"{k}={v}" for k, v in result.by_rule().items())
     lines.append(
@@ -135,5 +144,60 @@ def render_text(result: SuiteResult, verbose: bool = False) -> str:
         f"{len(result.findings)} finding(s)"
         + (f" [{by_rule}]" if by_rule else "")
         + (f", {len(result.suppressed)} baselined" if result.suppressed else "")
+        + (f", {len(result.stale_suppressions)} stale baseline entr"
+           f"{'y' if len(result.stale_suppressions) == 1 else 'ies'}"
+           if result.stale_suppressions else "")
     )
     return "\n".join(lines)
+
+
+def cache_line(result: SuiteResult) -> str:
+    """One line of incremental-cache accounting for the text report."""
+    stats = result.cache_stats
+    if stats is None or not stats.get("enabled"):
+        return "cache: disabled"
+    project = "reused" if stats.get("project_hit") else "re-analyzed"
+    return (
+        f"cache: {stats.get('file_hits', 0)}/{stats.get('files', 0)} file "
+        f"results reused, project analysis {project}"
+    )
+
+
+def render_github(result: SuiteResult) -> str:
+    """GitHub Actions workflow-command output: inline PR annotations.
+
+    One ``::error`` per active finding and per stale baseline entry
+    (both fail the run), then the same verdict line as the text format
+    so logs stay greppable.
+    """
+    lines: List[str] = []
+    for finding in result.findings:
+        message = finding.message
+        if finding.hint:
+            message += f" -- fix: {finding.hint}"
+        lines.append(
+            f"::error file={finding.path},line={max(finding.line, 1)},"
+            f"col={max(finding.col, 1)},title={finding.rule}::{_escape(message)}"
+        )
+    for entry in result.stale_suppressions:
+        lines.append(
+            f"::error file={entry['path']},line=1,title=stale-baseline::"
+            + _escape(
+                f"baseline entry {entry['rule']} at {entry['path']} matched "
+                f"nothing -- delete it or run --prune-baseline")
+        )
+    if result.cache_stats is not None:
+        lines.append(cache_line(result))
+    verdict = "OK" if result.ok else "FAIL"
+    lines.append(
+        f"staticcheck {verdict}: {result.files_scanned} files, "
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.stale_suppressions)} stale baseline entries"
+    )
+    return "\n".join(lines)
+
+
+def _escape(message: str) -> str:
+    """GitHub workflow-command data escaping (%, CR, LF)."""
+    return (message.replace("%", "%25")
+            .replace("\r", "%0D").replace("\n", "%0A"))

@@ -1,0 +1,162 @@
+"""The incremental result cache: correctness first, speed as a bonus."""
+
+import json
+import time
+from pathlib import Path
+
+from repro.staticcheck import ResultCache, run_suite
+
+
+def write_tree(tmp_path, n_modules=24):
+    """A synthetic package big enough for timing to be meaningful."""
+    pkg = tmp_path / "src" / "demo"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    for i in range(n_modules):
+        body = [f"def fn_{i}_{j}(x):\n    return x + {j}\n" for j in range(12)]
+        (pkg / f"mod{i:02d}.py").write_text("\n".join(body))
+    # one violating module so findings flow through the cache too
+    (pkg / "clock.py").write_text(
+        "import time\n\ndef now():\n    return time.time()\n")
+    return tmp_path / "src"
+
+
+def run(root, cache_dir, enabled=True):
+    cache = ResultCache(root=cache_dir, enabled=enabled, scope=(str(root),))
+    t0 = time.perf_counter()
+    result = run_suite([root], cache=cache)
+    return result, time.perf_counter() - t0
+
+
+def test_warm_run_matches_cold_run_and_is_faster(tmp_path):
+    root = write_tree(tmp_path)
+    cache_dir = tmp_path / ".staticcheck-cache"
+
+    cold, cold_dt = run(root, cache_dir)
+    assert cold.cache_stats["file_hits"] == 0
+    assert cold.cache_stats["project_hit"] is False
+
+    warm, warm_dt = run(root, cache_dir)
+    assert warm.cache_stats["file_hits"] == warm.cache_stats["files"]
+    assert warm.cache_stats["project_hit"] is True
+
+    # identical results, byte for byte
+    assert [f.to_json() for f in warm.findings] == \
+        [f.to_json() for f in cold.findings]
+    assert warm.artifacts == cold.artifacts
+
+    # the acceptance bound: a fully warm run skips parsing entirely, so
+    # it must come in well under half the cold wall time
+    assert warm_dt < 0.5 * cold_dt, (warm_dt, cold_dt)
+
+
+def test_editing_one_file_invalidates_only_that_file(tmp_path):
+    root = write_tree(tmp_path)
+    cache_dir = tmp_path / ".staticcheck-cache"
+    cold, _ = run(root, cache_dir)
+
+    (root / "demo" / "mod00.py").write_text(
+        "import time\n\ndef drift():\n    return time.monotonic()\n")
+    partial, _ = run(root, cache_dir)
+    assert partial.cache_stats["file_hits"] == partial.cache_stats["files"] - 1
+    assert partial.cache_stats["project_hit"] is False  # tree digest changed
+    assert {f.rule for f in partial.findings} == {"RS101"}
+    assert len(partial.findings) == len(cold.findings) + 1
+
+
+def test_ruleset_version_bump_invalidates_everything(tmp_path, monkeypatch):
+    root = write_tree(tmp_path, n_modules=2)
+    cache_dir = tmp_path / ".staticcheck-cache"
+    run(root, cache_dir)
+
+    monkeypatch.setattr("repro.staticcheck.cache.RULESET_VERSION", "999.0")
+    bumped, _ = run(root, cache_dir)
+    assert bumped.cache_stats["file_hits"] == 0
+    assert bumped.cache_stats["project_hit"] is False
+
+
+def test_disabled_cache_reports_disabled_and_writes_nothing(tmp_path):
+    root = write_tree(tmp_path, n_modules=2)
+    cache_dir = tmp_path / ".staticcheck-cache"
+    result, _ = run(root, cache_dir, enabled=False)
+    assert result.cache_stats == {
+        "enabled": False, "files": 4, "file_hits": 0, "project_hit": False}
+    assert not cache_dir.exists()
+
+
+def test_corrupt_cache_is_discarded_silently(tmp_path):
+    root = write_tree(tmp_path, n_modules=2)
+    cache_dir = tmp_path / ".staticcheck-cache"
+    _, _ = run(root, cache_dir)
+    for path in cache_dir.glob("cache-*.json"):
+        path.write_text("{not json")
+    result, _ = run(root, cache_dir)
+    assert result.cache_stats["file_hits"] == 0
+    assert result.ok is False  # clock.py finding still reported
+
+
+def test_cache_dir_ignores_itself(tmp_path):
+    root = write_tree(tmp_path, n_modules=2)
+    cache_dir = tmp_path / ".staticcheck-cache"
+    run(root, cache_dir)
+    assert (cache_dir / ".gitignore").read_text() == "*\n"
+
+
+def test_scopes_do_not_evict_each_other(tmp_path):
+    root = write_tree(tmp_path, n_modules=2)
+    other = tmp_path / "other"
+    other.mkdir()
+    (other / "x.py").write_text("def f():\n    return 1\n")
+    cache_dir = tmp_path / ".staticcheck-cache"
+
+    run(root, cache_dir)
+    # scanning a different root set writes a different cache file...
+    other_cache = ResultCache(root=cache_dir, scope=(str(other),))
+    run_suite([other], cache=other_cache)
+    # ...so the original scope is still fully warm
+    warm, _ = run(root, cache_dir)
+    assert warm.cache_stats["project_hit"] is True
+
+
+def test_baseline_changes_need_no_cold_run(tmp_path):
+    """Suppression happens after retrieval: cached findings still match."""
+    from repro.staticcheck import Baseline
+
+    root = write_tree(tmp_path, n_modules=2)
+    cache_dir = tmp_path / ".staticcheck-cache"
+    run(root, cache_dir)
+
+    baseline = Baseline.from_dict({
+        "schema": "repro.staticcheck-baseline/1",
+        "suppressions": [
+            {"rule": "RS101", "path": "src/demo/clock.py",
+             "justification": "fixture: grandfathered"},
+        ],
+    })
+    cache = ResultCache(root=cache_dir, scope=(str(root),))
+    result = run_suite([root], cache=cache, baseline=baseline)
+    assert result.cache_stats["project_hit"] is True
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["RS101"]
+    assert result.ok
+
+
+def test_cached_findings_do_not_leak_justifications(tmp_path):
+    """A suppressed run must not bake its justification into the cache."""
+    from repro.staticcheck import Baseline
+
+    root = write_tree(tmp_path, n_modules=2)
+    cache_dir = tmp_path / ".staticcheck-cache"
+    baseline = Baseline.from_dict({
+        "schema": "repro.staticcheck-baseline/1",
+        "suppressions": [
+            {"rule": "RS101", "path": "src/demo/clock.py",
+             "justification": "fixture"},
+        ],
+    })
+    cache = ResultCache(root=cache_dir, scope=(str(root),))
+    run_suite([root], cache=cache, baseline=baseline)
+    for path in Path(cache_dir).glob("cache-*.json"):
+        doc = json.loads(path.read_text())
+        dumped = json.dumps(doc)
+        assert "justification" not in dumped

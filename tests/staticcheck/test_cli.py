@@ -88,13 +88,107 @@ def test_list_rules_covers_all_families():
     for rule_id in ("RS101", "RS102", "RS103", "RS104", "RS105",
                     "RS201", "RS202", "RS203",
                     "RS301", "RS302", "RS303",
-                    "RS401", "RS402"):
+                    "RS401", "RS402",
+                    "RS501", "RS502", "RS503", "RS510", "RS511",
+                    "RS601", "RS602"):
         assert rule_id in proc.stdout, rule_id
 
 
 def test_missing_path_is_usage_error():
     proc = run_cli("definitely/not/here")
     assert proc.returncode == 2
+
+
+def write_violating_tree(tmp_path):
+    bad = tmp_path / "src" / "repro" / "net"
+    bad.mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+    (bad / "__init__.py").write_text("")
+    (bad / "noise.py").write_text(VIOLATING)
+    return tmp_path / "src"
+
+
+def test_github_format_emits_error_annotations(tmp_path):
+    root = write_violating_tree(tmp_path)
+    proc = run_cli(str(root), "--no-baseline", "--format", "github",
+                   "--cache-dir", str(tmp_path / "cache"))
+    assert proc.returncode == 1
+    assert "::error file=" in proc.stdout
+    assert "title=RS102" in proc.stdout
+    assert "staticcheck FAIL" in proc.stdout
+
+
+def test_cache_line_and_no_cache(tmp_path):
+    root = write_violating_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    cold = run_cli(str(root), "--no-baseline", "--cache-dir", str(cache_dir))
+    assert "cache: 0/3 file results reused, project analysis re-analyzed" \
+        in cold.stdout
+    warm = run_cli(str(root), "--no-baseline", "--cache-dir", str(cache_dir))
+    assert "cache: 3/3 file results reused, project analysis reused" \
+        in warm.stdout
+    off = run_cli(str(root), "--no-baseline", "--no-cache",
+                  "--cache-dir", str(cache_dir))
+    assert "cache: disabled" in off.stdout
+
+
+def test_stale_baseline_entry_fails_and_prunes(tmp_path):
+    root = write_violating_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "schema": "repro.staticcheck-baseline/1",
+        "suppressions": [
+            {"rule": "RS102", "path": "src/repro/net/noise.py",
+             "justification": "fixture: grandfathered"},
+            {"rule": "RS101", "path": "src/repro/net/gone.py",
+             "justification": "fixture: fixed long ago"},
+        ],
+    }))
+    common = (str(root), "--baseline", str(baseline),
+              "--cache-dir", str(tmp_path / "cache"))
+
+    stale = run_cli(*common)
+    assert stale.returncode == 1
+    assert "stale baseline entry" in stale.stdout
+
+    pruned = run_cli(*common, "--prune-baseline")
+    assert pruned.returncode == 0, pruned.stdout + pruned.stderr
+    assert "pruned 1 stale baseline entry" in pruned.stdout
+    doc = json.loads(baseline.read_text())
+    assert [s["path"] for s in doc["suppressions"]] == [
+        "src/repro/net/noise.py"]
+
+    # with the dead entry gone the same invocation is clean
+    clean = run_cli(*common)
+    assert clean.returncode == 0
+
+
+def test_shared_state_inventory_export(tmp_path):
+    root = tmp_path / "src" / "repro"
+    (root / "chaos").mkdir(parents=True)
+    (root / "__init__.py").write_text("")
+    (root / "chaos" / "__init__.py").write_text("")
+    (root / "chaos" / "camp.py").write_text(
+        "SEEN = []\n"
+        "\n"
+        "def campaign(e):\n"
+        "    SEEN.append(e)\n"
+    )
+    out = tmp_path / "shared_state.json"
+    proc = run_cli(str(tmp_path / "src"), "--no-baseline",
+                   "--shared-state", str(out),
+                   "--cache-dir", str(tmp_path / "cache"))
+    assert proc.returncode == 1  # RS601: campaign writes module state
+    assert "RS601" in proc.stdout
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.staticcheck-shared-state/1"
+    assert doc["shared_state"][0]["name"].endswith("camp.SEEN")
+
+
+def test_tests_and_benchmarks_pass_hygiene_gate():
+    """The CI step added for this repo's own tests/ and benchmarks/."""
+    proc = run_cli("tests", "benchmarks", "--select", "RS4", "--no-cache")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
 def test_doctor_staticcheck_section():
@@ -108,3 +202,4 @@ def test_doctor_staticcheck_section():
         os.chdir(cwd)
     assert text.startswith("staticcheck:")
     assert "OK" in text
+    assert "shared state:" in text

@@ -1,0 +1,150 @@
+"""RS60x parallel readiness: the shared-state inventory gating sharding."""
+
+import json
+from pathlib import Path
+
+from repro.staticcheck import check_project_sources, parse_sources
+from repro.staticcheck.dataflow import ParallelReadinessPass, build_project
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def analyze(sources):
+    return check_project_sources(
+        sources, project_passes=[ParallelReadinessPass()])
+
+
+def test_rs601_write_reachable_from_chaos_entry():
+    findings, artifacts = analyze({
+        "repro.obs.registry": (
+            "CACHE = {}\n"
+            "\n"
+            "def remember(key, value):\n"
+            "    CACHE[key] = value\n"
+        ),
+        "repro.chaos.campaign": (
+            "from repro.obs.registry import remember\n"
+            "\n"
+            "def run_campaign():\n"
+            "    remember('a', 1)\n"
+        ),
+    })
+    assert [f.rule for f in findings] == ["RS601"]
+    assert "repro.obs.registry.CACHE" in findings[0].message
+    entry = artifacts["shared_state"][0]
+    assert entry["name"] == "repro.obs.registry.CACHE"
+    assert entry["writes"]["chaos_entrypoints"]["names"] == [
+        "repro.chaos.campaign.run_campaign"]
+
+
+def test_rs602_write_reachable_from_event_handler():
+    findings, _ = analyze({
+        "repro.net.node": (
+            "SEEN = []\n"
+            "\n"
+            "class Node:\n"
+            "    def on_packet(self, pkt):\n"
+            "        SEEN.append(pkt)\n"
+        ),
+    })
+    assert [f.rule for f in findings] == ["RS602"]
+    assert "SEEN" in findings[0].message
+
+
+def test_read_only_state_is_inventoried_but_not_flagged():
+    findings, artifacts = analyze({
+        "repro.core.tables": "LIMITS = {'hops': 5}\n",
+        "repro.chaos.use": (
+            "from repro.core import tables\n"
+            "\n"
+            "def campaign():\n"
+            "    return tables.LIMITS\n"
+        ),
+    })
+    assert findings == []
+    entry = artifacts["shared_state"][0]
+    assert entry["name"] == "repro.core.tables.LIMITS"
+    assert "reads" in entry and "writes" not in entry
+
+
+def test_mutator_methods_count_as_writes():
+    findings, _ = analyze({
+        "repro.chaos.acc": (
+            "EVENTS = []\n"
+            "\n"
+            "def record(e):\n"
+            "    EVENTS.append(e)\n"
+        ),
+    })
+    assert [f.rule for f in findings] == ["RS601"]
+
+
+def test_local_shadowing_is_not_an_access():
+    findings, artifacts = analyze({
+        "repro.chaos.shadow": (
+            "CACHE = {}\n"
+            "\n"
+            "def campaign():\n"
+            "    CACHE = {}\n"  # local binding shadows the module global
+            "    CACHE['x'] = 1\n"
+            "    return CACHE\n"
+        ),
+    })
+    assert findings == []
+    assert artifacts["shared_state"] == []
+
+
+def test_write_through_transitive_call_chain():
+    findings, _ = analyze({
+        "repro.store": (
+            "STATE = {}\n"
+            "\n"
+            "def put(k, v):\n"
+            "    STATE[k] = v\n"
+        ),
+        "repro.mid": (
+            "from repro.store import put\n"
+            "\n"
+            "def via(k, v):\n"
+            "    put(k, v)\n"
+        ),
+        "repro.chaos.entry": (
+            "from repro.mid import via\n"
+            "\n"
+            "def campaign():\n"
+            "    via('a', 1)\n"
+        ),
+    })
+    assert [f.rule for f in findings] == ["RS601"]
+
+
+def test_inventory_is_deterministic_on_the_real_tree():
+    """The acceptance artifact: byte-identical inventories over src/."""
+    src = REPO_ROOT / "src"
+    files = sorted(src.rglob("*.py"))
+    sources = {}
+    for path in files:
+        rel = path.relative_to(src).with_suffix("")
+        parts = list(rel.parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        if not parts:
+            continue
+        sources[".".join(parts)] = path.read_text(encoding="utf-8",
+                                                  errors="replace")
+    modules = parse_sources(sources)
+    runs = []
+    for _ in range(2):
+        project = build_project(modules)
+        _, artifacts = ParallelReadinessPass().run(project)
+        runs.append(json.dumps(artifacts["shared_state"], sort_keys=True))
+    assert runs[0] == runs[1]
+    inventory = json.loads(runs[0])
+    # every entry is fully keyed and capped lists stay within bounds
+    for entry in inventory:
+        assert set(entry) >= {"name", "kind", "path", "line"}
+        for mode in ("reads", "writes"):
+            if mode in entry:
+                for slot in entry[mode].values():
+                    assert len(slot["names"]) <= 8
+                    assert slot["count"] >= len(slot["names"])

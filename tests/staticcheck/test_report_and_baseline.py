@@ -102,10 +102,38 @@ def test_baseline_suppresses_and_reports_stale(tmp_path):
     })
     result = run_suite([root], baseline=baseline)
     assert result.findings == []
-    assert result.ok
+    # a stale entry now fails the run: baselines may only shrink
+    assert not result.ok
     assert [f.rule for f in result.suppressed] == ["RS101"]
     assert result.suppressed[0].justification == "fixture: grandfathered"
     assert [s["path"] for s in result.stale_suppressions] == ["src/repro/net/ghost.py"]
+
+
+def test_out_of_scope_baseline_entries_are_not_stale(tmp_path):
+    root = write_fixture_tree(tmp_path)
+    baseline = Baseline.from_dict({
+        "schema": "repro.staticcheck-baseline/1",
+        "suppressions": [
+            {"rule": "RS101", "path": "src/repro/net/clock.py",
+             "justification": "fixture: grandfathered"},
+            {"rule": "RS201", "path": "benchmarks/other.py",
+             "justification": "different scan root: not this run's business"},
+        ],
+    })
+    result = run_suite([root], baseline=baseline)
+    assert result.stale_suppressions == []
+    assert result.ok
+
+    # a rule outside --select is equally out of scope
+    baseline = Baseline.from_dict({
+        "schema": "repro.staticcheck-baseline/1",
+        "suppressions": [
+            {"rule": "RS201", "path": "src/repro/net/clock.py",
+             "justification": "purity rule not selected in this run"},
+        ],
+    })
+    result = run_suite([root], baseline=baseline, select=["RS4"])
+    assert result.stale_suppressions == []
 
 
 def test_baseline_path_matching_is_suffix_tolerant(tmp_path):
