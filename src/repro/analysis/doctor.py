@@ -230,6 +230,9 @@ def telemetry_dashboard(network) -> str:
     if getattr(network, "control", None) is not None:
         lines.append("")
         lines.append(control_report(network))
+    if getattr(network, "traffic", None) is not None:
+        lines.append("")
+        lines.append(traffic_report(network))
     return "\n".join(lines)
 
 
@@ -389,6 +392,55 @@ def control_report(network) -> str:
     if summary["srp"]:
         srp = ", ".join(f"{k}={v}" for k, v in summary["srp"].items())
         lines.append(f"    srp: {srp}")
+    return "\n".join(lines)
+
+
+def traffic_report(network) -> str:
+    """The ``traffic SLO`` section of the doctor's output: what the
+    workload experienced -- flow states, delivery-latency quantiles,
+    goodput, drops by cause, and the blackout cost of each
+    reconfiguration window.  Off unless the network was built with
+    ``Network(traffic=...)``."""
+    engine = getattr(network, "traffic", None)
+    lines = ["traffic SLO:"]
+    if engine is None:
+        lines.append("  off (build Network(traffic=...) to run a workload)")
+        return "\n".join(lines)
+    doc = engine.document()
+    lines.append(
+        f"  {doc['config']['pattern']} workload, {doc['generated_flows']} flows "
+        f"over {doc['config']['hosts']} hosts ({doc['config']['mode']} mode, "
+        f"{'launched' if doc['launched'] else 'not launched'})"
+    )
+    lines.append(
+        f"  flows: {doc['flows_completed']} completed, {doc['flows_active']} "
+        f"active ({doc['flows_unrouted']} unrouted), {doc['flows_pending']} pending"
+    )
+    goodput = doc["goodput_bytes_per_sec"]
+    lines.append(
+        f"  offered {doc['offered_bytes'] / 1024:.1f} KiB, delivered "
+        f"{doc['delivered_bytes'] / 1024:.1f} KiB"
+        + (f" ({goodput / 1024:.1f} KiB/s)" if goodput is not None else "")
+        + f", blackout cost {doc['blackout_cost_bytes'] / 1024:.1f} KiB"
+    )
+    latency = doc["latency"]
+    if latency["count"]:
+        lines.append(
+            f"  delivery latency: p50 {latency['p50_ns'] / 1e6:.1f} ms, "
+            f"p99 {latency['p99_ns'] / 1e6:.1f} ms over {latency['count']} flows"
+        )
+    if doc["drops"]:
+        drops = ", ".join(f"{k}={v}" for k, v in doc["drops"].items())
+        lines.append(f"  drops: {drops}")
+    for window in doc["windows"]:
+        if window["end_ns"] is None:
+            continue
+        lines.append(
+            f"    epoch {window['epoch']} "
+            f"[+{window['start_ns'] / 1e9:.3f}s..+{window['end_ns'] / 1e9:.3f}s]: "
+            f"blackout cost {window['blackout_cost_bytes'] / 1024:.1f} KiB "
+            f"of {window['offered_bytes'] / 1024:.1f} KiB offered"
+        )
     return "\n".join(lines)
 
 

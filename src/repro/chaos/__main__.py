@@ -78,6 +78,13 @@ def main(argv=None) -> int:
         help="with --replay: record in-band path telemetry and write "
         "the repro.obs.inband/1 artifact here",
     )
+    parser.add_argument(
+        "--traffic",
+        metavar="PATH",
+        default=None,
+        help="with --replay: drive the fluid workload through the "
+        "replay and write the repro.traffic/1 SLO artifact here",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress per-schedule progress lines")
     args = parser.parse_args(argv)
 
@@ -138,22 +145,25 @@ def _shrink_failures(runner: CampaignRunner, args) -> None:
             lambda s: not runner.run_schedule(s).passed,
         )
         # the confirmation replay doubles as the recording pass: the
-        # causal flight trace, the longitudinal timeseries, and the
-        # in-band path telemetry land next to the reproducer, so the
-        # event timeline, the port-state/FIFO/epoch trajectory, and the
-        # data-plane SLO damage of the minimal failure all ship with it
-        # (replayable via `python -m repro.obs watch --replay` and
-        # inspectable via the repro.obs.inband validator/query API)
+        # causal flight trace, the longitudinal timeseries, the in-band
+        # path telemetry, and the workload SLO accounting land next to
+        # the reproducer, so the event timeline, the port-state/FIFO/
+        # epoch trajectory, and the data-plane SLO damage of the minimal
+        # failure all ship with it (replayable via `python -m repro.obs
+        # watch --replay` and inspectable via the repro.obs.inband and
+        # repro.traffic validator/query APIs)
         trace_path = os.path.join(args.artifact_dir, f"{result.name}.trace.json")
         timeseries_path = os.path.join(
             args.artifact_dir, f"{result.name}.timeseries.json"
         )
         inband_path = os.path.join(args.artifact_dir, f"{result.name}.inband.json")
+        traffic_path = os.path.join(args.artifact_dir, f"{result.name}.traffic.json")
         replayed = runner.run_schedule(
             minimal,
             trace_path=trace_path,
             timeseries_path=timeseries_path,
             inband_path=inband_path,
+            traffic_path=traffic_path,
         )
         path = os.path.join(args.artifact_dir, f"{result.name}.json")
         artifact = reproducer_dict(
@@ -166,7 +176,7 @@ def _shrink_failures(runner: CampaignRunner, args) -> None:
         print(
             f"  -> {len(minimal.events)} events after {runs} runs: {path} "
             f"(trace: {trace_path}, timeseries: {timeseries_path}, "
-            f"inband: {inband_path})",
+            f"inband: {inband_path}, traffic: {traffic_path})",
             flush=True,
         )
     skipped = len(runner.failures) - MAX_SHRINKS
@@ -179,13 +189,18 @@ def _replay(args) -> int:
 
     doc = load_artifact(args.replay)
     result = replay_artifact(
-        args.replay, trace_path=args.trace, inband_path=args.inband
+        args.replay,
+        trace_path=args.trace,
+        inband_path=args.inband,
+        traffic_path=args.traffic,
     )
     print(result.schedule.describe())
     if args.trace:
         print(f"flight trace written to {args.trace}")
     if args.inband:
         print(f"in-band telemetry written to {args.inband}")
+    if args.traffic:
+        print(f"traffic SLO artifact written to {args.traffic}")
     print()
     if result.passed:
         print("replay PASSED: the artifact no longer reproduces a violation")

@@ -53,6 +53,9 @@ class CampaignConfig:
     #: quiescence must hold this long before it counts (section 6.2's
     #: skeptic philosophy, applied to the test harness itself)
     settle_ns: int = 500 * MS
+    #: workload driven through every schedule (None/False = no traffic;
+    #: True, an int, a dict, or a TrafficConfig as Network(traffic=...))
+    traffic: object = None
 
     def deadline_ns(self, n_switches: int) -> int:
         if self.converge_timeout_ns is not None:
@@ -122,6 +125,7 @@ class CampaignRunner:
         flight: bool = False,
         timeseries: bool = False,
         inband: bool = False,
+        traffic: object = False,
     ) -> Network:
         network = Network(
             self.spec,
@@ -130,6 +134,7 @@ class CampaignRunner:
             flight=flight,
             timeseries=timeseries,
             inband=inband,
+            traffic=traffic,
         )
         for name, attachments in self._host_plan():
             network.add_host(name, attachments)
@@ -144,18 +149,33 @@ class CampaignRunner:
         trace_path: Optional[str] = None,
         timeseries_path: Optional[str] = None,
         inband_path: Optional[str] = None,
+        traffic: object = None,
+        traffic_path: Optional[str] = None,
     ) -> ScheduleResult:
         """Run one schedule; ``trace_path`` turns on the flight recorder
         for this run and writes the Perfetto trace there afterwards,
         ``timeseries_path`` does the same for the longitudinal sampler,
         and ``inband_path`` for the in-band path telemetry layer (all
-        are observational, so the run itself is unchanged)."""
+        are observational, so the run itself is unchanged).
+
+        ``traffic`` (default: the config's ``traffic`` field) drives a
+        workload through the schedule's faults; the fluid model is
+        observational, so the reconfiguration trajectory is unchanged
+        while the SLO invariants (no flow left permanently unrouted at
+        quiescence) join the quiescent checks.  ``traffic_path`` writes
+        the ``repro.traffic/1`` SLO artifact afterwards (implies the
+        default workload when ``traffic`` is off)."""
+        if traffic is None:
+            traffic = self.config.traffic
+        if traffic is None or traffic is False:
+            traffic = traffic_path is not None
         result = ScheduleResult(name=name or schedule.name, schedule=schedule)
         network = self.build_network(
             schedule,
             flight=trace_path is not None,
             timeseries=timeseries_path is not None,
             inband=inband_path is not None,
+            traffic=traffic,
         )
         try:
             return self._run_schedule(network, schedule, result)
@@ -166,6 +186,8 @@ class CampaignRunner:
                 network.export_timeseries(timeseries_path)
             if inband_path is not None:
                 network.export_inband(inband_path)
+            if traffic_path is not None and network.traffic is not None:
+                network.export_traffic(traffic_path, name=result.name)
 
     def _run_schedule(
         self, network: Network, schedule: Schedule, result: ScheduleResult
@@ -180,6 +202,9 @@ class CampaignRunner:
             result.violations.append("initial convergence never reached")
             result.sim_ns = network.sim.now
             return result
+
+        if network.traffic is not None and not network.traffic.launched:
+            network.traffic.launch()
 
         injector = Injector(network, schedule)
         base = network.sim.now
@@ -212,6 +237,13 @@ class CampaignRunner:
             report = quiescent_checks(network)
             if self.extra_checks is not None:
                 report.merge(self.extra_checks(network))
+            if network.traffic is not None:
+                # SLO invariant: quiescence means no flow between live,
+                # mutually-reachable endpoints is left permanently
+                # unrouted (goodput recovers after every reconfiguration)
+                report.ran("traffic_slo")
+                for violation in network.traffic.slo_violations():
+                    report.fail(f"traffic SLO: {violation}")
             result.checks_run = _merge_counts(result.checks_run, report.checks_run)
             result.violations.extend(report.violations)
 

@@ -71,6 +71,7 @@ def replay_artifact(
     config=None,
     trace_path: Optional[str] = None,
     inband_path: Optional[str] = None,
+    traffic_path: Optional[str] = None,
 ):
     """Re-run an artifact's schedule; returns its ScheduleResult.
 
@@ -80,7 +81,9 @@ def replay_artifact(
     and writes the Perfetto document there -- the causal timeline of the
     very run the reproducer provokes.  ``inband_path`` records in-band
     path telemetry (per-flow paths, SLO damage) and writes the
-    ``repro.obs.inband/1`` artifact there.
+    ``repro.obs.inband/1`` artifact there.  ``traffic_path`` drives the
+    fluid workload through the replay and writes the ``repro.traffic/1``
+    SLO artifact (blackout cost, latency quantiles) there.
     """
     from repro.chaos.campaign import CampaignConfig, CampaignRunner
 
@@ -94,4 +97,5 @@ def replay_artifact(
         name=schedule.name or "replay",
         trace_path=trace_path,
         inband_path=inband_path,
+        traffic_path=traffic_path,
     )

@@ -71,6 +71,11 @@ class AutonetDriver:
             self.sim.after(self.probe_period_ns, self._probe)
             return
         self._check_failover()
+        self._send_probe()
+        period = self.probe_period_ns if self._healthy() else VIGOROUS_PROBE_PERIOD_NS
+        self.sim.after(period, self._probe)
+
+    def _send_probe(self) -> None:
         request = HostAddressRequest(
             epoch=0, sender_uid=self.controller.uid, host_uid=self.controller.uid
         )
@@ -85,8 +90,18 @@ class AutonetDriver:
             )
         )
         self.probes_sent += 1
-        period = self.probe_period_ns if self._healthy() else VIGOROUS_PROBE_PERIOD_NS
-        self.sim.after(period, self._probe)
+
+    def kick(self) -> None:
+        """One immediate extra probe, outside the periodic loop.
+
+        The boot-time probe is usually lost (the switches are not
+        configured yet), and the 2 s probe period then dominates host
+        readiness.  Host software that just started (e.g. the traffic
+        workload launching after convergence) kicks the driver instead
+        of waiting out the period.
+        """
+        if not self.ready and self.controller.powered:
+            self._send_probe()
 
     def _check_failover(self) -> None:
         if self.sim.now >= self._failover_deadline:

@@ -32,7 +32,13 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import MergedLog
 from repro.topology.generators import TopologySpec
+from repro.traffic.workload import TrafficConfig
 from repro.types import Uid
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.traffic.engine import TrafficEngine
 
 
 @dataclass
@@ -70,6 +76,7 @@ class Network:
         timeseries: "bool | int | TimeSeriesConfig | None" = False,
         inband: "bool | int | InbandConfig | None" = False,
         control: bool = False,
+        traffic: "bool | int | TrafficConfig | None" = False,
     ) -> None:
         self.spec = spec
         #: pass a shared simulator to co-simulate several Autonets (for
@@ -173,6 +180,21 @@ class Network:
             self.sim.sampler = self.sampler
             self._install_timeseries()
             self.sampler.start()
+
+        #: opt-in traffic engine (repro.traffic).  Pass traffic=True
+        #: (defaults), an int (flow count), or a TrafficConfig.  Off
+        #: (the default) leaves sim.traffic None: the delivery/drop
+        #: stamp sites pay one load + None test and no flow state
+        #: exists, so disabled runs stay byte-identical.  Wired last so
+        #: the engine can register its sampler collectors and (packet
+        #: mode) attach its hosts to free ports.
+        self.traffic_config = TrafficConfig.coerce(traffic)
+        self.traffic: "Optional[TrafficEngine]" = None
+        if self.traffic_config is not None:
+            from repro.traffic.engine import TrafficEngine
+
+            self.traffic = TrafficEngine(self, self.traffic_config)
+            self.sim.traffic = self.traffic
 
     # -- measurement hooks ----------------------------------------------------------------
 
@@ -321,6 +343,23 @@ class Network:
 
         doc = self.inband_doc()
         write_inband(path, doc)
+        return doc
+
+    def traffic_doc(self, name: str = "") -> Dict:
+        """The ``repro.traffic/1`` artifact of the workload's SLO
+        accounting so far."""
+        if self.traffic is None:
+            raise RuntimeError(
+                "traffic engine is off; build Network(traffic=...)"
+            )
+        return self.traffic.document(name=name or self.name or self.spec.name)
+
+    def export_traffic(self, path: str, name: str = "") -> Dict:
+        """Validate and write the traffic artifact; returns the doc."""
+        from repro.traffic.artifact import write_traffic
+
+        doc = self.traffic_doc(name=name)
+        write_traffic(path, doc)
         return doc
 
     def telemetry(self) -> Dict:
@@ -630,6 +669,9 @@ class Network:
     def _notify_fault(self, kind: str, **detail) -> None:
         if self.telemetry_enabled:
             self.sim.metrics.counter("faults_injected", kind=kind).inc()
+        tr = self.sim.traffic
+        if tr is not None:
+            tr.note_fault(kind)
         if self.on_fault is not None:
             self.on_fault(kind, detail)
 

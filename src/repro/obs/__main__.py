@@ -59,6 +59,7 @@ from repro.obs.regress import (
 from repro.obs.sweep import LADDERS, render_sweep, run_sweep, write_sweep
 from repro.obs.timeseries import TimeSeries, TimeSeriesConfig
 from repro.obs.watch import watch_live, watch_replay
+from repro.scenario import drive_scenario, report_unknown_subcommand
 from repro.topology.generators import TOPOLOGY_FAMILIES, resolve_topology
 
 
@@ -84,12 +85,7 @@ def _run_scenario(
     net = Network(
         spec, seed=seed, flight=flight, flight_capacity=capacity, profile=profile
     )
-    if not net.run_until_converged(timeout_ns=60 * SEC):
-        print("warning: initial configuration did not converge", file=sys.stderr)
-    for a, b in cuts:
-        net.cut_link(a, b)
-    if cuts and not net.run_until_converged(timeout_ns=60 * SEC):
-        print("warning: post-cut reconfiguration did not converge", file=sys.stderr)
+    drive_scenario(net, cuts)
     return net
 
 
@@ -153,16 +149,8 @@ def _cmd_paths(args) -> int:
     spec = resolve_topology(args.topo)
     net = Network(spec, seed=args.seed, inband=True)
     hosts = _attach_traffic(net, args.period, args.bytes)
-    if not net.run_until_converged(timeout_ns=60 * SEC):
-        print("warning: initial configuration did not converge", file=sys.stderr)
-    traffic_ns = int(args.duration * SEC)
-    net.run_for(traffic_ns)
     cuts = args.cut or [(0, 1)]
-    for a, b in cuts:
-        net.cut_link(a, b)
-    if not net.run_until_converged(timeout_ns=60 * SEC):
-        print("warning: post-cut reconfiguration did not converge", file=sys.stderr)
-    net.run_for(traffic_ns)
+    drive_scenario(net, cuts, load_ns=int(args.duration * SEC))
 
     doc = net.inband_doc()
     uid_names = {ctrl.uid.value: name for name, ctrl, _ln in hosts}
@@ -408,6 +396,7 @@ def _cmd_sweep(args) -> int:
         seed=args.seed,
         topologies=args.topo,
         progress=progress,
+        traffic=args.traffic,
     )
     out = args.out or f"sweep-{args.ladder}.json"
     write_sweep(out, doc)
@@ -587,6 +576,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_sweep.add_argument("--seed", type=int, default=0, help="sweep seed")
     p_sweep.add_argument(
+        "--traffic", action="store_true",
+        help="drive the fluid hotspot workload through every rung and "
+             "report traffic_* SLO metrics",
+    )
+    p_sweep.add_argument(
         "--out",
         default=None,
         metavar="PATH",
@@ -594,21 +588,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_sweep.set_defaults(fn=_cmd_sweep)
 
+    # missing or unknown subcommand: list what exists instead of a bare
+    # argparse error (shared with python -m repro.traffic)
+    status = report_unknown_subcommand(
+        parser,
+        sub,
+        argv,
+        extra=["topologies (--topo):"]
+        + [f"  {example:<14} {desc}" for example, desc in TOPOLOGY_FAMILIES],
+    )
+    if status is not None:
+        return status
     args = parser.parse_args(argv)
-    if getattr(args, "fn", None) is None:
-        # no subcommand: list what exists instead of a bare argparse error
-        parser.print_usage(sys.stderr)
-        print("subcommands:", file=sys.stderr)
-        helps = {
-            action.dest: action.help
-            for action in getattr(sub, "_choices_actions", [])
-        }
-        for name in sub.choices:
-            print(f"  {name:<8} {helps.get(name) or ''}", file=sys.stderr)
-        print("topologies (--topo):", file=sys.stderr)
-        for example, desc in TOPOLOGY_FAMILIES:
-            print(f"  {example:<14} {desc}", file=sys.stderr)
-        return 2
     return args.fn(args)
 
 

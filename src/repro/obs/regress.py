@@ -173,6 +173,18 @@ def _numeric(cell: Any) -> Optional[float]:
 DIRECTIONS = ("both", "floor", "ceiling")
 
 
+def _best_match(metric: str, patterns: Dict[str, Any]) -> Optional[str]:
+    """The most specific fnmatch pattern matching ``metric``: longest
+    pattern wins (so ``bench/telemetry/x`` beats ``*/telemetry/*``),
+    lexicographic order breaks ties deterministically."""
+    best = None
+    for pattern in sorted(patterns):
+        if fnmatch.fnmatchcase(metric, pattern):
+            if best is None or len(pattern) > len(best):
+                best = pattern
+    return best
+
+
 @dataclass
 class Tolerance:
     """Band half-width around the baseline mean:
@@ -187,16 +199,12 @@ class Tolerance:
     directions: Dict[str, str] = field(default_factory=dict)
 
     def rel_for(self, metric: str) -> float:
-        for pattern in sorted(self.overrides):
-            if fnmatch.fnmatchcase(metric, pattern):
-                return self.overrides[pattern]
-        return self.rel
+        match = _best_match(metric, self.overrides)
+        return self.rel if match is None else self.overrides[match]
 
     def direction_for(self, metric: str) -> str:
-        for pattern in sorted(self.directions):
-            if fnmatch.fnmatchcase(metric, pattern):
-                return self.directions[pattern]
-        return "both"
+        match = _best_match(metric, self.directions)
+        return "both" if match is None else self.directions[match]
 
     def band(self, metric: str, mean: float, stdev: float) -> Tuple[float, float]:
         half = max(self.rel_for(metric) * abs(mean), self.abs, self.sigma * stdev)

@@ -49,6 +49,10 @@ SWEEP_METRICS = (
     "control_retx",
     "fifo_highwater_bytes",
     "events_per_sec",
+    # workload SLO metrics; present only when the sweep ran with traffic
+    "traffic_blackout_cost_bytes",
+    "traffic_p99_latency_ns",
+    "traffic_goodput_bytes_per_sec",
 )
 
 #: metrics every simulated ("ok") point must report
@@ -109,6 +113,12 @@ LADDERS: Dict[str, Tuple[str, ...]] = {
 #: steps deterministically and demands oracle agreement, §6.6)
 CONVERGE_LIMIT_NS = 60_000_000_000
 
+#: traffic-enabled rungs: workload size scales with the rung and each
+#: side of the cut runs one arrival window of load
+TRAFFIC_FLOWS_PER_SWITCH = 8
+TRAFFIC_HOSTS_PER_SWITCH = 4
+TRAFFIC_WINDOW_NS = 500_000_000
+
 
 class SweepSchemaError(ValueError):
     """A document does not conform to ``repro.obs.sweep/1``."""
@@ -152,8 +162,14 @@ class SweepPoint:
         return out
 
 
-def run_point(name: str, seed: int) -> SweepPoint:
-    """Run the seeded fault scenario on one topology rung."""
+def run_point(name: str, seed: int, traffic: bool = False) -> SweepPoint:
+    """Run the seeded fault scenario on one topology rung.
+
+    ``traffic=True`` additionally drives a small deterministic hotspot
+    workload through the cut (fluid model) and reports its SLO metrics;
+    the default keeps rungs workload-free so existing curves and their
+    baselines stay comparable.
+    """
     from repro.network import Network
     from repro.sim.rng import RngRegistry
     from repro.topology.generators import resolve_topology
@@ -168,7 +184,18 @@ def run_point(name: str, seed: int) -> SweepPoint:
         return point
 
     child = RngRegistry(seed).child_seed(f"sweep/{name}")
-    net = Network(spec, seed=child, control=True, profile=True)
+    traffic_config = None
+    if traffic:
+        from repro.traffic.workload import TrafficConfig
+
+        traffic_config = TrafficConfig(
+            pattern="hotspot",
+            flows=TRAFFIC_FLOWS_PER_SWITCH * point.switches,
+            hosts=TRAFFIC_HOSTS_PER_SWITCH * point.switches,
+            mean_flow_bytes=65_536,
+            duration_ns=TRAFFIC_WINDOW_NS,
+        )
+    net = Network(spec, seed=child, control=True, profile=True, traffic=traffic_config)
     if not net.run_until_converged(timeout_ns=CONVERGE_LIMIT_NS):
         point.skip(f"did not converge within {CONVERGE_LIMIT_NS} ns of boot")
         return point
@@ -178,6 +205,10 @@ def run_point(name: str, seed: int) -> SweepPoint:
     point.set_metric("converge_ns", max(s.end_ns for s in boot_spans))
     boot_epochs = {s.key for s in tracer.all_spans()}
 
+    if net.traffic is not None:
+        net.traffic.launch()
+        net.run_for(TRAFFIC_WINDOW_NS)
+
     packets_before = net.control.packets
     bytes_before = net.control.bytes
     retx_before = net.control.retransmissions()
@@ -186,6 +217,8 @@ def run_point(name: str, seed: int) -> SweepPoint:
     if not net.run_until_converged(timeout_ns=CONVERGE_LIMIT_NS):
         point.skip(f"did not reconverge within {CONVERGE_LIMIT_NS} ns of the cut")
         return point
+    if net.traffic is not None:
+        net.run_for(TRAFFIC_WINDOW_NS)
 
     fault_spans = [
         s for s in tracer.all_spans() if s.key not in boot_epochs and s.closed
@@ -216,6 +249,15 @@ def run_point(name: str, seed: int) -> SweepPoint:
     profiler = net.profiler
     if profiler is not None:
         point.set_metric("events_per_sec", round(profiler.events_per_sec(), 1))
+    if net.traffic is not None:
+        slo = net.traffic.document()
+        point.set_metric("traffic_blackout_cost_bytes", slo["blackout_cost_bytes"])
+        p99 = slo["latency"]["p99_ns"]
+        if p99 is not None:
+            point.set_metric("traffic_p99_latency_ns", p99)
+        goodput = slo["goodput_bytes_per_sec"]
+        if goodput is not None:
+            point.set_metric("traffic_goodput_bytes_per_sec", round(goodput, 1))
     return point
 
 
@@ -263,12 +305,14 @@ def run_sweep(
     seed: int = 0,
     topologies: Optional[Sequence[str]] = None,
     progress=None,
+    traffic: bool = False,
 ) -> Dict[str, Any]:
     """Run every rung of a ladder and assemble the sweep document.
 
     ``topologies`` overrides the named ladder with an explicit rung
     list; ``progress`` (if given) is called with each finished
-    :class:`SweepPoint`.
+    :class:`SweepPoint`; ``traffic=True`` drives the fluid workload
+    through every rung and adds the ``traffic_*`` SLO metrics.
     """
     if topologies is None:
         if ladder not in LADDERS:
@@ -278,15 +322,18 @@ def run_sweep(
         topologies = LADDERS[ladder]
     points: List[SweepPoint] = []
     for name in topologies:
-        point = run_point(name, seed)
+        point = run_point(name, seed, traffic=traffic)
         points.append(point)
         if progress is not None:
             progress(point)
+    scenario = "boot-converge, cut first cable, reconverge"
+    if traffic:
+        scenario += ", hotspot fluid workload through the cut"
     doc = {
         "schema": SWEEP_SCHEMA,
         "ladder": ladder,
         "seed": seed,
-        "scenario": "boot-converge, cut first cable, reconverge",
+        "scenario": scenario,
         "metrics": list(SWEEP_METRICS),
         "points": [p.to_dict() for p in points],
         "slopes": fit_slopes(points),

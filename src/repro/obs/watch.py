@@ -133,6 +133,57 @@ def congestion_rows(
     return rows
 
 
+def _rate_window(counter: SeriesData) -> List[Optional[float]]:
+    """Per-tick deltas of a cumulative counter series (rate shape)."""
+    out: List[Optional[float]] = []
+    prev: Optional[float] = None
+    for v in counter.values:
+        if v is None or prev is None:
+            out.append(None if v is None else 0.0)
+        else:
+            out.append(max(0.0, v - prev))
+        if v is not None:
+            prev = v
+    return out
+
+
+def traffic_rows(ts: TimeSeries, width: int = 32) -> List[str]:
+    """Workload SLO rows from the traffic engine's collectors: active /
+    unrouted flow counts, per-tick delivered-byte rate, and the
+    cumulative blackout cost.  Empty when no traffic engine sampled."""
+    active = ts.series("traffic_active_flows")
+    if active is None:
+        return []
+    unrouted = ts.series("traffic_unrouted_flows")
+    completed = ts.series("traffic_completed_flows")
+    delivered = ts.series("traffic_delivered_bytes")
+    blackout = ts.series("traffic_blackout_cost_bytes")
+    rows = ["traffic SLO:"]
+    last_active = active.last() or 0
+    last_unrouted = (unrouted.last() or 0) if unrouted else 0
+    last_completed = (completed.last() or 0) if completed else 0
+    rows.append(
+        f"  flows  active {int(last_active):>4} "
+        f"(unrouted {int(last_unrouted)}) "
+        f"done {int(last_completed):>4} |{sparkline(active.values, width)}|"
+    )
+    if delivered is not None:
+        rate = _rate_window(delivered)
+        tail = next((v for v in reversed(rate) if v is not None), 0.0)
+        per_sec = tail / (ts.interval_ns / 1e9) if ts.interval_ns else 0.0
+        rows.append(
+            f"  goodput {per_sec / 1024:>9.1f} KiB/s       "
+            f"|{sparkline(rate, width)}|"
+        )
+    if blackout is not None:
+        cost = blackout.last() or 0.0
+        rows.append(
+            f"  blackout cost {cost / 1024:>8.1f} KiB    "
+            f"|{sparkline(_rate_window(blackout), width)}|"
+        )
+    return rows
+
+
 def render_frame(
     ts: TimeSeries,
     now_ns: Optional[int] = None,
@@ -183,6 +234,11 @@ def render_frame(
         if heat:
             lines.append("")
             lines.extend(heat)
+
+    slo = traffic_rows(ts, width=width)
+    if slo:
+        lines.append("")
+        lines.extend(slo)
 
     marks = ts.marks()
     if now_ns is not None:

@@ -1,0 +1,52 @@
+"""repro.traffic: flow-level workloads and the traffic SLO observatory.
+
+The production question behind the paper's §6.7 blackout metric is
+"how much user traffic does a reconfiguration cost at load?".  This
+package answers it: seeded open-loop workloads over hundreds-to-
+thousands of logical hosts, a flow-level fluid model over the live
+forwarding tables (with a per-packet cross-validation mode), and a
+blackout-cost observatory windowed against the reconfiguration
+tracer's epoch spans, exported as versioned ``repro.traffic/1``
+artifacts.
+
+Entry points: ``Network(traffic=...)`` wires a
+:class:`~repro.traffic.engine.TrafficEngine` onto ``sim.traffic``;
+``python -m repro.traffic run`` drives the canonical generate ->
+converge -> load -> cut -> reconverge -> report scenario.
+"""
+
+from repro.traffic.artifact import (
+    TRAFFIC_SCHEMA,
+    TrafficSchemaError,
+    read_traffic,
+    validate_traffic,
+    write_traffic,
+)
+from repro.traffic.engine import TrafficEngine
+from repro.traffic.fluid import LINK_CAPACITY, solve_rates, walk_path
+from repro.traffic.workload import (
+    ARRIVAL_PATTERNS,
+    TRAFFIC_MODES,
+    Flow,
+    TrafficConfig,
+    generate_flows,
+    host_switch,
+)
+
+__all__ = [
+    "ARRIVAL_PATTERNS",
+    "TRAFFIC_MODES",
+    "TRAFFIC_SCHEMA",
+    "Flow",
+    "LINK_CAPACITY",
+    "TrafficConfig",
+    "TrafficEngine",
+    "TrafficSchemaError",
+    "generate_flows",
+    "host_switch",
+    "read_traffic",
+    "solve_rates",
+    "validate_traffic",
+    "walk_path",
+    "write_traffic",
+]

@@ -1,0 +1,255 @@
+"""CLI for the traffic SLO observatory.
+
+.. code-block:: console
+
+    # the acceptance scenario: 1000-flow hotspot workload over 500
+    # logical hosts on the 30-switch SRC LAN, surviving a cable cut
+    python -m repro.traffic run --out traffic.json
+
+    # smaller and per-packet, for cross-checking the fluid model
+    python -m repro.traffic run --topo ring-4 --mode packet \
+        --flows 8 --hosts 4 --cut 0-1
+
+    # render a previously recorded artifact
+    python -m repro.traffic report traffic.json
+
+    # structural gate (CI's traffic-smoke job)
+    python -m repro.traffic validate traffic.json
+
+``run`` drives the shared scenario (generate -> converge -> load ->
+cut -> reconverge -> report) through :func:`repro.scenario.
+drive_scenario` -- the same driver ``python -m repro.obs paths`` uses
+-- and writes a validated ``repro.traffic/1`` artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.constants import SEC
+from repro.network import Network
+from repro.scenario import drive_scenario, report_unknown_subcommand
+from repro.topology.generators import TOPOLOGY_FAMILIES, resolve_topology
+from repro.traffic.artifact import read_traffic, validate_traffic, write_traffic
+from repro.traffic.workload import ARRIVAL_PATTERNS, TRAFFIC_MODES, TrafficConfig
+
+
+def _parse_cut(text: str):
+    try:
+        a, b = text.split("-", 1)
+        return int(a), int(b)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected a cut like 0-1 (two switch indices), got {text!r}"
+        ) from exc
+
+
+def _fmt_ns(value) -> str:
+    if value is None:
+        return "-"
+    if value < 1_000:
+        return f"{value:.0f}ns"
+    if value < 1_000_000:
+        return f"{value / 1e3:.1f}us"
+    if value < 1_000_000_000:
+        return f"{value / 1e6:.1f}ms"
+    return f"{value / 1e9:.3f}s"
+
+
+def _fmt_bytes(value) -> str:
+    if value is None:
+        return "-"
+    if value < 1_024:
+        return f"{value:.0f}B"
+    if value < 1_048_576:
+        return f"{value / 1024:.1f}KiB"
+    if value < 1_073_741_824:
+        return f"{value / 1048576:.2f}MiB"
+    return f"{value / 1073741824:.2f}GiB"
+
+
+def render_report(doc: Dict[str, Any]) -> str:
+    """The human-readable report for one ``repro.traffic/1`` document."""
+    config = doc["config"]
+    lines = [
+        f"traffic SLO report: {doc['name'] or '(unnamed)'}",
+        (
+            f"  workload: {config['pattern']} x{config['flows']} flows over "
+            f"{config['hosts']} hosts, mean {_fmt_bytes(config['mean_flow_bytes'])}"
+            f", {config['mode']} mode"
+        ),
+        (
+            f"  flows: {doc['flows_completed']} completed, "
+            f"{doc['flows_active']} active ({doc['flows_unrouted']} unrouted), "
+            f"{doc['flows_pending']} pending"
+        ),
+        (
+            f"  offered {_fmt_bytes(doc['offered_bytes'])}  "
+            f"delivered {_fmt_bytes(doc['delivered_bytes'])}  "
+            f"blackout cost {_fmt_bytes(doc['blackout_cost_bytes'])}"
+        ),
+        (
+            f"  goodput {_fmt_bytes(doc['goodput_bytes_per_sec'])}/s  "
+            f"delivery latency p50 {_fmt_ns(doc['latency']['p50_ns'])} "
+            f"p99 {_fmt_ns(doc['latency']['p99_ns'])} "
+            f"(n={doc['latency']['count']})"
+        ),
+    ]
+    if doc["drops"]:
+        causes = ", ".join(f"{k}={v}" for k, v in doc["drops"].items())
+        lines.append(f"  drops by cause: {causes}")
+    if doc["windows"]:
+        lines.append("  per-epoch goodput / blackout cost:")
+        for window in doc["windows"]:
+            end = window["end_ns"]
+            span = (
+                f"[+{window['start_ns'] / 1e9:.3f}s.."
+                f"{'+' + format(end / 1e9, '.3f') + 's' if end is not None else 'open'}]"
+            )
+            lines.append(
+                f"    epoch {window['epoch']:>3} {span} "
+                f"blackout {_fmt_ns(window['max_blackout_ns'])}: "
+                f"goodput {_fmt_bytes(window['goodput_bytes_per_sec'])}/s, "
+                f"cost {_fmt_bytes(window['blackout_cost_bytes'])}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_run(args) -> int:
+    spec = resolve_topology(args.topo)
+    config = TrafficConfig(
+        pattern=args.pattern,
+        flows=args.flows,
+        hosts=args.hosts,
+        mean_flow_bytes=args.mean_bytes,
+        duration_ns=int(args.duration * SEC),
+        mode=args.mode,
+    )
+    net = Network(
+        spec,
+        seed=args.seed,
+        traffic=config,
+        timeseries=args.timeseries,
+    )
+    cuts = args.cut
+    if not cuts and not args.no_cut:
+        a, _pa, b, _pb = spec.cables[0]
+        cuts = [(a, b)]
+    load_ns = int(args.duration * SEC) + int(args.drain * SEC)
+    drive_scenario(net, cuts, load_ns=load_ns)
+    doc = net.traffic_doc()
+    validate_traffic(doc)
+    print(render_report(doc))
+    if args.out:
+        write_traffic(args.out, doc)
+        print(f"wrote {args.out}")
+    if args.timeseries and args.timeseries_out:
+        net.export_timeseries(args.timeseries_out)
+        print(f"wrote {args.timeseries_out}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    doc = read_traffic(args.artifact)
+    print(render_report(doc))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    doc = read_traffic(args.artifact)
+    print(
+        f"{args.artifact}: valid {doc['schema']} "
+        f"({doc['generated_flows']} flows, {len(doc['windows'])} windows)"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.traffic",
+        description="Flow-level traffic workloads with blackout-cost "
+        "accounting during reconfiguration.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_run = sub.add_parser(
+        "run", help="generate a workload, run it through a cable cut, report"
+    )
+    p_run.add_argument(
+        "--topo", default="src-lan-30", help="topology name (default src-lan-30)"
+    )
+    p_run.add_argument(
+        "--pattern", default="hotspot", choices=ARRIVAL_PATTERNS,
+        help="arrival process (default hotspot)",
+    )
+    p_run.add_argument(
+        "--flows", type=int, default=1000, help="flow count (default 1000)"
+    )
+    p_run.add_argument(
+        "--hosts", type=int, default=500, help="logical hosts (default 500)"
+    )
+    p_run.add_argument(
+        "--mean-bytes", type=int, default=131_072,
+        help="mean flow size in bytes (default 131072)",
+    )
+    p_run.add_argument(
+        "--duration", type=float, default=1.0, metavar="SEC",
+        help="arrival window; also the load phase each side of the cut "
+             "(default 1.0 simulated seconds)",
+    )
+    p_run.add_argument(
+        "--drain", type=float, default=1.0, metavar="SEC",
+        help="extra run time per load phase for flows to finish (default 1.0)",
+    )
+    p_run.add_argument(
+        "--mode", default="fluid", choices=TRAFFIC_MODES,
+        help="fluid rate shares (default) or per-packet with real hosts",
+    )
+    p_run.add_argument(
+        "--cut", type=_parse_cut, action="append", default=[], metavar="A-B",
+        help="cut the link between switches A and B (repeatable; "
+             "default: the topology's first cable)",
+    )
+    p_run.add_argument(
+        "--no-cut", action="store_true", help="run the workload with no fault"
+    )
+    p_run.add_argument("--seed", type=int, default=0, help="simulation seed")
+    p_run.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the repro.traffic/1 artifact here",
+    )
+    p_run.add_argument(
+        "--timeseries", action="store_true",
+        help="also sample the traffic series into timeseries rings",
+    )
+    p_run.add_argument(
+        "--timeseries-out", default=None, metavar="PATH",
+        help="with --timeseries: write the repro.obs.timeseries/1 artifact",
+    )
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_report = sub.add_parser("report", help="render a recorded artifact")
+    p_report.add_argument("artifact", help="path to a repro.traffic/1 document")
+    p_report.set_defaults(fn=_cmd_report)
+
+    p_validate = sub.add_parser(
+        "validate", help="structurally validate a repro.traffic/1 artifact"
+    )
+    p_validate.add_argument("artifact", help="path to a repro.traffic/1 document")
+    p_validate.set_defaults(fn=_cmd_validate)
+
+    listing = report_unknown_subcommand(
+        parser, sub, argv,
+        extra=["topologies (--topo):"]
+        + [f"  {example:<14} {desc}" for example, desc in TOPOLOGY_FAMILIES],
+    )
+    if listing is not None:
+        return listing
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

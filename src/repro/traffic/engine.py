@@ -1,0 +1,518 @@
+"""The traffic engine: workload execution plus the SLO observatory.
+
+``Network(traffic=...)`` builds one :class:`TrafficEngine` and hangs it
+on ``sim.traffic`` -- the same optional-attribute discipline every
+other observability layer follows (staticcheck RS308 audits the call
+sites).  With traffic off, ``sim.traffic`` stays None and every hook in
+the data path is one attribute load plus a None test, so disabled runs
+remain byte-identical.
+
+Two execution modes share one observatory:
+
+* **fluid** (the default): logical hosts, no packets.  Flows transfer
+  at max-min fair rate shares computed from the *live* forwarding
+  tables (:mod:`repro.traffic.fluid`), re-solved when a flow arrives or
+  completes, when a table generation bumps, on any fault, and on every
+  :class:`~repro.obs.spans.ReconfigTracer` span event -- so the rate
+  plan reacts exactly when the control plane acts.  The fluid engine is
+  purely observational: it schedules its own simulator events but never
+  touches a switch, link, or FIFO, so enabling it leaves the network's
+  event history unchanged.
+* **packet**: real :class:`~repro.host.controller.HostController` hosts
+  attached to free switch ports, sending line-rate-paced chunked
+  datagrams through the actual switches.  Tractable only for small
+  topologies; it exists to cross-validate the fluid approximation.
+
+The observatory prices reconfiguration in offered-load terms: offered
+bytes accrue at access line rate from a flow's arrival until its bytes
+are exhausted, delivered bytes accrue at the achieved rate, and the
+shortfall -- the **blackout cost** -- is windowed against the tracer's
+epoch spans in the exported ``repro.traffic/1`` artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.constants import SEC
+from repro.net.packet import PacketType
+from repro.obs.registry import Histogram
+from repro.traffic.artifact import TRAFFIC_SCHEMA
+from repro.traffic.fluid import (
+    LINK_CAPACITY,
+    port_owner_map,
+    solve_rates,
+    total_generation,
+    walk_path,
+)
+from repro.traffic.workload import Flow, TrafficConfig, generate_flows, host_switch
+
+#: a flow is complete when its fluid remainder drops below half a byte
+COMPLETE_EPS = 0.5
+
+#: delivery-latency histogram buckets (ns): 100us .. ~400s, geometric
+LATENCY_BUCKETS = tuple(100_000 * 4 ** k for k in range(12))
+
+
+class FlowRun:
+    """Runtime state of one flow (both modes)."""
+
+    __slots__ = (
+        "flow", "state", "remaining", "rate", "path", "walked",
+        "offered", "delivered", "sent", "latency_ns",
+    )
+
+    def __init__(self, flow: Flow) -> None:
+        self.flow = flow
+        self.state = "pending"  # pending -> active -> completed
+        self.remaining = float(flow.size_bytes)
+        self.rate = 0.0
+        self.path = None
+        self.walked = False
+        self.offered = 0.0   # packet mode: bytes handed to the sender
+        self.delivered = 0.0  # packet mode: bytes seen by the sink
+        self.sent = 0        # packet mode: bytes accepted by LocalNet
+        self.latency_ns: Optional[int] = None
+
+
+class TrafficEngine:
+    """Workload execution + SLO accounting for one installation."""
+
+    def __init__(self, network, config: TrafficConfig) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.config = config
+        self.registry = network.rng.fork("traffic")
+        self.flows: List[Flow] = generate_flows(
+            config, self.registry.stream("workload")
+        )
+        self.runs: Dict[int, FlowRun] = {f.flow_id: FlowRun(f) for f in self.flows}
+        self._active: set = set()
+        self._pending = len(self.flows)
+        self.completed = 0
+
+        # cumulative SLO aggregates (bytes are floats in fluid mode)
+        self.offered_bytes = 0.0
+        self.delivered_bytes = 0.0
+        self.deficit_bytes = 0.0
+        self.packets_delivered = 0
+        self.drops: Dict[str, int] = {}
+        self.latency_hist = Histogram(
+            "traffic_flow_latency_ns", {}, buckets=LATENCY_BUCKETS
+        )
+
+        # piecewise accounting segments: (t0, t1, offered, delivered, deficit)
+        self.segments: List[tuple] = []
+        self.segments_dropped = 0
+
+        self.launched = False
+        self._launch_ns = 0
+        self._owners = port_owner_map(network)
+        self._n_switches = len(network.switches)
+
+        # fluid solver pacing state
+        self._last_advance = 0
+        self._last_solve_ns = -(10 ** 18)
+        self._walked_fp: Any = None
+        self._fault_version = 0
+        self._resolve_handle = None
+        self._resolve_at = 0
+        self._completion_handle = None
+
+        self._packet_net = None
+        if config.mode == "packet":
+            from repro.traffic.packet import PacketHosts
+
+            self._packet_net = PacketHosts(self)
+
+        if network.sampler is not None:
+            self._install_collectors(network.sampler)
+        if network.tracer is not None:
+            network.tracer.add_listener(self._span_event)
+
+    # -- timeseries collectors (literal names: RS304/RS308) --------------------------
+
+    def _install_collectors(self, sampler) -> None:
+        sampler.add_collector(
+            "traffic_active_flows", lambda: float(len(self._active))
+        )
+        sampler.add_collector(
+            "traffic_unrouted_flows",
+            lambda: float(sum(
+                1 for fid in self._active if self.runs[fid].path is None
+            )),
+        )
+        sampler.add_collector(
+            "traffic_completed_flows", lambda: float(self.completed), kind="counter"
+        )
+        sampler.add_collector(
+            "traffic_offered_bytes", lambda: self.offered_bytes, kind="counter"
+        )
+        sampler.add_collector(
+            "traffic_delivered_bytes", lambda: self.delivered_bytes, kind="counter"
+        )
+        sampler.add_collector(
+            "traffic_blackout_cost_bytes", lambda: self.deficit_bytes, kind="counter"
+        )
+
+    # -- workload launch --------------------------------------------------------------
+
+    def launch(self) -> None:
+        """Start the workload clock: flows arrive relative to *now*.
+
+        Call after initial convergence (the scenario driver does) so the
+        workload measures a running network's reconfigurations, not its
+        boot."""
+        if self.launched:
+            raise RuntimeError("traffic workload already launched")
+        self.launched = True
+        self._launch_ns = self.sim.now
+        self._last_advance = self.sim.now
+        if self._packet_net is not None:
+            self._packet_net.launch(self._launch_ns)
+            self._schedule_segment_roll()
+            return
+        for flow in self.flows:
+            self.sim.at(self._launch_ns + flow.arrival_ns, self._arrive, flow)
+
+    # -- event hooks (guarded call sites audit as RS308) ------------------------------
+
+    def note_fault(self, kind: str) -> None:
+        """A fault was injected: paths may have died without any table
+        generation changing, so force a re-walk soon."""
+        self._fault_version += 1
+        if self.launched and self._packet_net is None:
+            self._request_resolve(0)
+
+    def _span_event(self, t_ns: int, component: str, event: str, attrs) -> None:
+        # table loads/clears bump table generations; re-solve promptly so
+        # blackout windows get sharp edges
+        if self.launched and self._packet_net is None:
+            self._request_resolve(0)
+
+    def record_delivery(self, packet, host: str) -> None:
+        """Hot-path stamp (host rx): one of our packet-mode datagrams
+        arrived intact."""
+        if packet.ptype is not PacketType.CLIENT:
+            return
+        if not isinstance(packet.payload, int) or packet.payload not in self.runs:
+            return
+        self.packets_delivered += 1
+
+    def record_drop(self, packet, component: str, cause: str) -> None:
+        """Hot-path stamp (host rx / switch / FIFO): a packet-mode
+        datagram died, attributed by cause."""
+        if packet.ptype is not PacketType.CLIENT:
+            return
+        if not isinstance(packet.payload, int) or packet.payload not in self.runs:
+            return
+        self.drops[cause] = self.drops.get(cause, 0) + 1
+
+    # -- fluid mode -------------------------------------------------------------------
+
+    def _arrive(self, flow: Flow) -> None:
+        self._advance(self.sim.now)
+        run = self.runs[flow.flow_id]
+        run.state = "active"
+        run.walked = False
+        self._active.add(flow.flow_id)
+        self._pending -= 1
+        self._request_resolve(self.config.arrival_batch_ns)
+
+    def _request_resolve(self, delay_ns: int) -> None:
+        """Schedule a re-solve no later than now+delay, coalescing with
+        any pending request and respecting the minimum solve gap."""
+        target = max(
+            self.sim.now + delay_ns,
+            self._last_solve_ns + self.config.min_resolve_gap_ns,
+        )
+        if self._resolve_handle is not None:
+            if self._resolve_at <= target:
+                return
+            self._resolve_handle.cancel()
+        self._resolve_handle = self.sim.at(target, self._resolve_timer)
+        self._resolve_at = target
+
+    def _resolve_timer(self) -> None:
+        self._resolve_handle = None
+        self._resolve()
+
+    def _resolve(self) -> None:
+        now = self.sim.now
+        self._advance(now)
+        if not self._active:
+            if self._completion_handle is not None:
+                self._completion_handle.cancel()
+                self._completion_handle = None
+            return
+        fingerprint = (total_generation(self.network), self._fault_version)
+        stale_all = fingerprint != self._walked_fp
+        for fid in self._active:
+            run = self.runs[fid]
+            if stale_all or not run.walked:
+                run.path = walk_path(
+                    self.network,
+                    self._owners,
+                    host_switch(run.flow.src_host, self._n_switches),
+                    host_switch(run.flow.dst_host, self._n_switches),
+                    self.config.max_hops,
+                )
+                run.walked = True
+        self._walked_fp = fingerprint
+        rates = solve_rates({
+            fid: self.runs[fid].path
+            for fid in self._active
+            if self.runs[fid].path is not None
+        })
+        for fid in self._active:
+            self.runs[fid].rate = rates.get(fid, 0.0)
+        self._last_solve_ns = now
+        self._schedule_completion(now)
+        self._request_resolve(self.config.resolve_interval_ns)
+
+    def _schedule_completion(self, now: int) -> None:
+        if self._completion_handle is not None:
+            self._completion_handle.cancel()
+            self._completion_handle = None
+        best = None
+        for fid in self._active:
+            run = self.runs[fid]
+            if run.rate > 0.0:
+                t = now + run.remaining / run.rate
+                if best is None or t < best:
+                    best = t
+        if best is not None:
+            self._completion_handle = self.sim.at(int(best) + 1, self._completion_timer)
+
+    def _completion_timer(self) -> None:
+        self._completion_handle = None
+        self._advance(self.sim.now)
+        self._request_resolve(0)
+
+    def _advance(self, now: int) -> None:
+        """Integrate the piecewise-constant rate plan up to ``now``."""
+        dt = now - self._last_advance
+        if dt <= 0:
+            return
+        self._last_advance = now
+        if not self._active:
+            return
+        seg_offered = 0.0
+        seg_delivered = 0.0
+        seg_deficit = 0.0
+        finished: List[int] = []
+        for fid in self._active:
+            run = self.runs[fid]
+            offered = min(run.remaining, LINK_CAPACITY * dt)
+            delivered = min(run.remaining, run.rate * dt)
+            run.remaining -= delivered
+            seg_offered += offered
+            seg_delivered += delivered
+            if run.walked and run.path is None:
+                # the table walk found no route (blackout or partition):
+                # the whole demand goes undelivered -- the §6.7 cost.
+                # Flows merely awaiting their first solve (rate still
+                # 0.0 for up to arrival_batch_ns) are admission latency,
+                # not blackout, and are excluded.
+                seg_deficit += offered
+            if run.remaining <= COMPLETE_EPS:
+                finished.append(fid)
+        self.offered_bytes += seg_offered
+        self.delivered_bytes += seg_delivered
+        self.deficit_bytes += seg_deficit
+        if len(self.segments) < self.config.max_segments:
+            self.segments.append(
+                (now - dt, now, seg_offered, seg_delivered, seg_deficit)
+            )
+        else:
+            self.segments_dropped += 1
+        for fid in finished:
+            self._complete(fid, now)
+
+    def _complete(self, fid: int, now: int) -> None:
+        run = self.runs[fid]
+        run.state = "completed"
+        run.remaining = 0.0
+        run.rate = 0.0
+        run.latency_ns = now - (self._launch_ns + run.flow.arrival_ns)
+        self.latency_hist.observe(float(run.latency_ns))
+        self._active.discard(fid)
+        self.completed += 1
+
+    # -- packet-mode accounting (driven by repro.traffic.packet) ----------------------
+
+    def _schedule_segment_roll(self) -> None:
+        self._seg_mark = (self.offered_bytes, self.delivered_bytes)
+        self.sim.after(self.config.resolve_interval_ns, self._segment_roll)
+
+    def _segment_roll(self) -> None:
+        now = self.sim.now
+        t0 = self._last_advance
+        self._last_advance = now
+        offered0, delivered0 = self._seg_mark
+        d_off = self.offered_bytes - offered0
+        d_del = self.delivered_bytes - delivered0
+        d_deficit = max(0.0, d_off - d_del)
+        self.deficit_bytes += d_deficit
+        if d_off or d_del:
+            if len(self.segments) < self.config.max_segments:
+                self.segments.append((t0, now, d_off, d_del, d_deficit))
+            else:
+                self.segments_dropped += 1
+        if self._active or self._pending:
+            self._schedule_segment_roll()
+
+    def packet_arrived(self, fid: int) -> None:
+        run = self.runs[fid]
+        run.state = "active"
+        self._active.add(fid)
+        self._pending -= 1
+
+    def packet_offered(self, fid: int, nbytes: int) -> None:
+        self.runs[fid].offered += nbytes
+        self.offered_bytes += nbytes
+
+    def packet_delivered(self, fid: int, nbytes: int) -> None:
+        run = self.runs[fid]
+        if run.state != "active":
+            return
+        run.delivered += nbytes
+        self.delivered_bytes += nbytes
+        if run.delivered >= run.flow.size_bytes:
+            run.remaining = 0.0
+            self._complete(fid, self.sim.now)
+
+    # -- SLO invariants (chaos campaigns) --------------------------------------------
+
+    def slo_violations(self) -> List[str]:
+        """Permanent-goodput-loss check for quiescent points: an active
+        flow whose endpoints are alive and physically connected must
+        have a forwarding path.  (Fluid mode only; packet mode has no
+        authoritative route view.)"""
+        if not self.launched or self._packet_net is not None:
+            return []
+        components = self.network.operational_components()
+        member = {}
+        for component in components:
+            for index in component:
+                member[index] = component
+        out: List[str] = []
+        for fid in sorted(self._active):
+            run = self.runs[fid]
+            src = host_switch(run.flow.src_host, self._n_switches)
+            dst = host_switch(run.flow.dst_host, self._n_switches)
+            if member.get(src) is None or member.get(dst) is not member.get(src):
+                continue  # partitioned or dead endpoints: loss is expected
+            path = walk_path(
+                self.network, self._owners, src, dst, self.config.max_hops
+            )
+            if path is None:
+                out.append(
+                    f"flow {fid} (h{run.flow.src_host}@sw{src} -> "
+                    f"h{run.flow.dst_host}@sw{dst}): no route at quiescence"
+                )
+        return out
+
+    # -- export -----------------------------------------------------------------------
+
+    def _windows(self) -> List[Dict[str, Any]]:
+        """Per-epoch blackout-cost windows: segment totals prorated onto
+        each reconfiguration span of the tracer."""
+        tracer = self.network.tracer
+        if tracer is None:
+            return []
+        now = self.sim.now
+        out = []
+        for span in tracer.span_summary():
+            start = span["start_ns"]
+            end = span["end_ns"] if span["end_ns"] is not None else now
+            offered = delivered = deficit = 0.0
+            for t0, t1, seg_offered, seg_delivered, seg_deficit in self.segments:
+                lo = max(t0, start)
+                hi = min(t1, end)
+                if hi <= lo:
+                    continue
+                fraction = (hi - lo) / (t1 - t0)
+                offered += seg_offered * fraction
+                delivered += seg_delivered * fraction
+                deficit += seg_deficit * fraction
+            duration = end - start
+            out.append({
+                "epoch": span["key"],
+                "start_ns": start,
+                "end_ns": span["end_ns"],
+                "max_blackout_ns": span.get("max_blackout_ns"),
+                "offered_bytes": round(offered, 3),
+                "delivered_bytes": round(delivered, 3),
+                "blackout_cost_bytes": round(deficit, 3),
+                "goodput_bytes_per_sec": (
+                    delivered / duration * SEC if duration > 0 else None
+                ),
+            })
+        return out
+
+    def document(self, name: str = "") -> Dict[str, Any]:
+        """The ``repro.traffic/1`` artifact as a dict."""
+        if self.launched and self._packet_net is None:
+            self._advance(self.sim.now)
+        unrouted = sum(
+            1 for fid in self._active if self.runs[fid].walked
+            and self.runs[fid].path is None
+        )
+        elapsed = self.sim.now - self._launch_ns if self.launched else 0
+        hist = self.latency_hist
+        sample = []
+        for flow in self.flows[: self.config.sample_flows]:
+            run = self.runs[flow.flow_id]
+            state = run.state
+            if state == "active" and run.walked and run.path is None:
+                state = "unrouted"
+            sample.append({
+                "flow_id": flow.flow_id,
+                "arrival_ns": flow.arrival_ns,
+                "src_host": flow.src_host,
+                "dst_host": flow.dst_host,
+                "size_bytes": flow.size_bytes,
+                "state": state,
+                "latency_ns": run.latency_ns,
+            })
+        return {
+            "schema": TRAFFIC_SCHEMA,
+            "name": name,
+            "config": {
+                "pattern": self.config.pattern,
+                "mode": self.config.mode,
+                "flows": self.config.flows,
+                "hosts": self.config.hosts,
+                "mean_flow_bytes": self.config.mean_flow_bytes,
+                "duration_ns": self.config.duration_ns,
+            },
+            "launched": self.launched,
+            "time_ns": self.sim.now,
+            "generated_flows": len(self.flows),
+            "flows_completed": self.completed,
+            "flows_active": len(self._active),
+            "flows_pending": self._pending,
+            "flows_unrouted": unrouted,
+            "offered_bytes": round(self.offered_bytes, 3),
+            "delivered_bytes": round(self.delivered_bytes, 3),
+            "blackout_cost_bytes": round(self.deficit_bytes, 3),
+            "goodput_bytes_per_sec": (
+                self.delivered_bytes / elapsed * SEC if elapsed > 0 else None
+            ),
+            "latency": {
+                "count": hist.count,
+                "p50_ns": hist.quantile(0.5),
+                "p99_ns": hist.quantile(0.99),
+                "mean_ns": hist.mean if hist.count else None,
+                "max_ns": hist.max,
+            },
+            "drops": dict(sorted(self.drops.items())),
+            "packets_delivered": self.packets_delivered,
+            "segments": {
+                "recorded": len(self.segments),
+                "dropped": self.segments_dropped,
+            },
+            "windows": self._windows(),
+            "flows_sample": sample,
+        }

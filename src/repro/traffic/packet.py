@@ -1,0 +1,110 @@
+"""Per-packet traffic mode: real hosts, real datagrams, small topologies.
+
+The fluid model (the default) is an approximation; this mode is its
+ground truth.  Each logical host becomes a real
+:class:`~repro.host.controller.HostController` on a free switch port
+with a :class:`~repro.host.localnet.LocalNet` on top, and every flow is
+sent as a train of chunked client datagrams paced at access line rate
+-- open loop, no retransmission, exactly the offered-load semantics the
+fluid model integrates.  The flow id rides in ``Packet.payload`` so the
+receiving sink can demultiplex deliveries back onto flows.
+
+Only viable when every logical host can claim a free port (ring-4 in
+the cross-validation test); :class:`PacketHosts` raises otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.constants import (
+    AUTONET_HEADER_BYTES,
+    BYTE_TIME_NS,
+    CRC_BYTES,
+    MS,
+)
+from repro.net.packet import ETHERNET_HEADER_BYTES
+from repro.traffic.workload import Flow, host_switch
+
+#: data bytes per chunk datagram (well under MAX_DATA_BYTES)
+CHUNK_DATA_BYTES = 16_384
+
+#: retry pacing when LocalNet refuses a send (driver not ready, ARP
+#: outstanding, tx buffer full)
+RETRY_NS = 5 * MS
+
+
+class PacketHosts:
+    """Real-host attachment + chunked senders for one TrafficEngine."""
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self.network = engine.network
+        self.sim = engine.sim
+        self.localnets: List = []
+        self.uids: List = []
+        self._attach()
+
+    def _attach(self) -> None:
+        from repro.host.localnet import LocalNet
+
+        network = self.network
+        n_switches = len(network.switches)
+        free: Dict[int, List[int]] = {}
+        for i, switch in enumerate(network.switches):
+            free[i] = [
+                p for p in sorted(switch.ports, reverse=True)
+                if not switch.ports[p].connected
+            ]
+        for host in range(self.engine.config.hosts):
+            sw = host_switch(host, n_switches)
+            if not free[sw]:
+                raise ValueError(
+                    f"packet mode: no free port on sw{sw} for logical host "
+                    f"{host}; use fewer hosts or the fluid mode"
+                )
+            port = free[sw].pop(0)
+            name = f"tr{host}"
+            controller = network.add_host(name, [(sw, port)])
+            localnet = LocalNet(network.drivers[name])
+            localnet.on_datagram = self._sink
+            self.localnets.append(localnet)
+            self.uids.append(controller.uid)
+
+    def _sink(self, src_uid, ethertype: int, data_bytes: int, packet) -> None:
+        fid = packet.payload
+        if isinstance(fid, int) and fid in self.engine.runs:
+            self.engine.packet_delivered(fid, data_bytes)
+
+    # -- sending ----------------------------------------------------------------------
+
+    def launch(self, base_ns: int) -> None:
+        for localnet in self.localnets:
+            localnet.driver.kick()  # learn short addresses now, not in 2 s
+        for flow in self.engine.flows:
+            self.sim.at(base_ns + flow.arrival_ns, self._start_flow, flow)
+
+    def _start_flow(self, flow: Flow) -> None:
+        self.engine.packet_arrived(flow.flow_id)
+        self._send_chunk(flow)
+
+    def _send_chunk(self, flow: Flow) -> None:
+        run = self.engine.runs[flow.flow_id]
+        if run.state != "active":
+            return
+        if run.sent >= flow.size_bytes:
+            return  # everything is on (or lost in) the wire
+        chunk = min(CHUNK_DATA_BYTES, flow.size_bytes - run.sent)
+        if run.sent + chunk > run.offered:
+            self.engine.packet_offered(
+                flow.flow_id, run.sent + chunk - int(run.offered)
+            )
+        localnet = self.localnets[flow.src_host]
+        if localnet.send(self.uids[flow.dst_host], chunk, payload=flow.flow_id):
+            run.sent += chunk
+            wire = (
+                AUTONET_HEADER_BYTES + ETHERNET_HEADER_BYTES + chunk + CRC_BYTES
+            ) * BYTE_TIME_NS
+            self.sim.after(wire, self._send_chunk, flow)
+        else:
+            self.sim.after(RETRY_NS, self._send_chunk, flow)

@@ -87,12 +87,27 @@ def test_run_point_is_deterministic():
     a = run_point("ring-4", seed=3)
     b = run_point("ring-4", seed=3)
     assert a.status == "ok"
-    sim_metrics = [m for m in SWEEP_METRICS if m != "events_per_sec"]
+    # traffic_* metrics appear only on traffic-enabled sweeps
+    assert not any(m.startswith("traffic_") for m in a.metrics)
+    sim_metrics = [
+        m for m in SWEEP_METRICS if m != "events_per_sec" and m in a.metrics
+    ]
     assert {m: a.metrics[m] for m in sim_metrics} == {
         m: b.metrics[m] for m in sim_metrics
     }
     assert a.metrics["control_packets"] > 0
     assert a.metrics["blackout_ns"] > 0
+
+
+def test_run_point_with_traffic_is_observational():
+    plain = run_point("ring-4", seed=3)
+    loaded = run_point("ring-4", seed=3, traffic=True)
+    assert loaded.status == "ok"
+    assert loaded.metrics["traffic_blackout_cost_bytes"] >= 0
+    assert loaded.metrics["traffic_goodput_bytes_per_sec"] > 0
+    # the workload rides along without touching the core trajectory
+    for metric in ("converge_ns", "reconfig_ns", "blackout_ns"):
+        assert loaded.metrics[metric] == plain.metrics[metric]
 
 
 def test_run_sweep_custom_ladder_validates():

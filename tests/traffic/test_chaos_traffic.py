@@ -1,0 +1,70 @@
+"""Chaos campaigns with a workload aboard: SLO invariants + reproducers."""
+
+import json
+
+from repro.chaos.campaign import CampaignConfig, CampaignRunner
+from repro.chaos.replay import replay_artifact, reproducer_dict, write_artifact
+from repro.traffic.artifact import validate_traffic
+
+SMALL_TRAFFIC = {
+    "pattern": "uniform",
+    "flows": 30,
+    "hosts": 12,
+    "mean_flow_bytes": 16_384,
+    "duration_ns": 300_000_000,
+}
+
+
+def _runner():
+    return CampaignRunner(CampaignConfig(topology="ring-4", schedules=1))
+
+
+def test_schedule_with_traffic_runs_slo_check(tmp_path):
+    runner = _runner()
+    schedule = runner.sample_schedule(0)
+    path = str(tmp_path / "schedule.traffic.json")
+    result = runner.run_schedule(schedule, traffic=dict(SMALL_TRAFFIC), traffic_path=path)
+    assert result.passed
+    assert result.checks_run.get("traffic_slo", 0) >= 1
+    doc = validate_traffic(json.load(open(path)))
+    assert doc["name"] == result.name
+
+
+def test_traffic_is_observational_at_campaign_level():
+    runner = _runner()
+    schedule = runner.sample_schedule(0)
+    without = runner.run_schedule(schedule)
+    with_traffic = runner.run_schedule(schedule, traffic=dict(SMALL_TRAFFIC))
+    assert without.checks_run.get("traffic_slo", 0) == 0
+    assert with_traffic.checks_run.get("traffic_slo", 0) >= 1
+    # the fluid model changes nothing the checks see
+    assert without.sim_ns == with_traffic.sim_ns
+    assert without.epochs == with_traffic.epochs
+    assert without.violations == with_traffic.violations == []
+
+
+def test_traffic_path_alone_implies_default_workload(tmp_path):
+    runner = _runner()
+    schedule = runner.sample_schedule(0)
+    path = str(tmp_path / "implied.traffic.json")
+    result = runner.run_schedule(schedule, traffic_path=path)
+    assert result.checks_run.get("traffic_slo", 0) >= 1
+    validate_traffic(json.load(open(path)))
+
+
+def test_config_traffic_field_coerces_dict():
+    config = CampaignConfig(topology="ring-4", schedules=1, traffic=dict(SMALL_TRAFFIC))
+    runner = CampaignRunner(config)
+    result = runner.run_schedule(runner.sample_schedule(0))
+    assert result.checks_run.get("traffic_slo", 0) >= 1
+
+
+def test_replay_writes_traffic_artifact(tmp_path):
+    runner = _runner()
+    schedule = runner.sample_schedule(0)
+    artifact = str(tmp_path / "reproducer.json")
+    write_artifact(artifact, reproducer_dict(schedule, violations=[]))
+    path = str(tmp_path / "replay.traffic.json")
+    result = replay_artifact(artifact, traffic_path=path)
+    assert result.checks_run.get("traffic_slo", 0) >= 1
+    validate_traffic(json.load(open(path)))

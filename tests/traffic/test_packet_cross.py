@@ -1,0 +1,66 @@
+"""Fluid-vs-packet cross-validation on a small topology.
+
+The fluid model is an approximation; the per-packet mode drives real
+host controllers through the switch data plane.  On a workload small
+enough to run both, the two must agree on *what* got delivered and be
+within an order of magnitude on *when* -- the sanity band that keeps the
+fluid model honest without demanding packet-exact latencies from a
+rate-share abstraction.
+"""
+
+from repro.constants import SEC
+from repro.network import Network
+from repro.topology.generators import resolve_topology
+
+CROSS_TRAFFIC = {
+    "pattern": "uniform",
+    "flows": 12,
+    "hosts": 6,
+    "mean_flow_bytes": 16_384,
+    "duration_ns": int(0.2 * SEC),
+    # tight solver pacing: at this scale admission batching would
+    # otherwise dominate the latency of sub-ms flows
+    "arrival_batch_ns": 1_000_000,
+    "min_resolve_gap_ns": 100_000,
+}
+
+
+def _run(mode):
+    spec = resolve_topology("ring-4")
+    config = dict(CROSS_TRAFFIC, mode=mode)
+    net = Network(spec, seed=0, traffic=config)
+    assert net.run_until_converged(timeout_ns=60 * SEC)
+    net.traffic.launch()
+    net.run_for(int(1.2 * SEC))
+    return net.traffic_doc()
+
+
+def test_fluid_and_packet_agree_on_delivery():
+    fluid = _run("fluid")
+    packet = _run("packet")
+
+    # same deterministic workload in both modes
+    assert fluid["generated_flows"] == packet["generated_flows"] == 12
+
+    def matrix(doc):
+        return [
+            (f["flow_id"], f["src_host"], f["dst_host"], f["size_bytes"])
+            for f in doc["flows_sample"]
+        ]
+
+    assert matrix(fluid) == matrix(packet)
+
+    # everything completes in both modes on an uncut ring
+    assert fluid["flows_completed"] == 12
+    assert packet["flows_completed"] == 12
+    assert fluid["delivered_bytes"] == packet["delivered_bytes"]
+
+    # latency agreement within an order of magnitude each way
+    for quantile in ("p50_ns", "p99_ns"):
+        f_ns = fluid["latency"][quantile]
+        p_ns = packet["latency"][quantile]
+        assert f_ns is not None and p_ns is not None
+        ratio = p_ns / f_ns
+        assert 0.1 <= ratio <= 10.0, (
+            f"{quantile}: packet {p_ns}ns vs fluid {f_ns}ns (ratio {ratio:.2f})"
+        )
